@@ -1,0 +1,27 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples verify-proofs figure1 clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+verify-proofs:
+	$(PYTHON) -m repro verify --theorem b1 --algorithm swmr-abd
+	$(PYTHON) -m repro verify --theorem 41 --algorithm swmr-abd --value-bits 2
+	$(PYTHON) -m repro verify --theorem 65 --algorithm cas --n 5 --f 1 --nu 2
+
+figure1:
+	$(PYTHON) -m repro figure1 --plot
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

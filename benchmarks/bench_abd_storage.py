@@ -1,0 +1,59 @@
+"""E4 — ABD measured storage vs active writes (the flat line).
+
+Runs ABD with ν simultaneously active writes at the paper's Figure 1
+parameters (N=21, f=10) and measures peak total storage.  Replication's
+cost does not grow with ν; per server it is exactly one value, so the
+deployment-minimal cost is f+1 values (ABD's line in Figure 1) and the
+fixed-N cost is N values.
+"""
+
+from repro.core.bounds import abd_upper_total_normalized
+from repro.registers.abd import build_abd_system
+from repro.util.tables import format_table
+from repro.workload.patterns import measure_peak_storage_with_nu_writes
+
+from benchmarks.common import emit
+
+N, F, VALUE_BITS = 21, 10, 16
+NUS = [1, 2, 4, 6, 8, 12]
+
+
+def _measure_all():
+    def build(nu):
+        return build_abd_system(
+            n=N, f=F, value_bits=VALUE_BITS, num_writers=max(1, nu)
+        )
+
+    rows = []
+    for nu in NUS:
+        peak = measure_peak_storage_with_nu_writes(build, nu)
+        rows.append(
+            (
+                nu,
+                peak.normalized_total(VALUE_BITS),
+                peak.normalized_max(VALUE_BITS),
+                abd_upper_total_normalized(F),
+            )
+        )
+    return rows
+
+
+def bench_abd_storage_vs_nu(benchmark):
+    rows = benchmark(_measure_all)
+
+    totals = [r[1] for r in rows]
+    # Flat: measured peak total is N values at every concurrency level.
+    assert all(t == totals[0] == float(N) for t in totals)
+    # Per-server cost is exactly one value: the f+1 formula line is the
+    # same algorithm deployed on the minimum f+1 servers.
+    assert all(r[2] == 1.0 for r in rows)
+
+    emit(
+        "abd_storage",
+        format_table(
+            ("nu", "measured total (N=21 servers)", "measured max/server",
+             "paper line f+1 (min deployment)"),
+            rows,
+            ".3f",
+        ),
+    )

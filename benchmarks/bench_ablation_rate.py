@@ -1,0 +1,76 @@
+"""E14 — ablation: CAS code rate k (DESIGN.md decision 4).
+
+The rate k controls the storage/fault-tolerance trade-off:
+
+* per-version storage is N/k of a value — higher k is cheaper;
+* liveness under f crashes needs the quorum ⌈(N+k)/2⌉ to fit in the
+  N-f survivors, i.e. k <= N-2f; rates above that (up to N-f) are
+  only live failure-free — exactly the ``optimistic`` configurations
+  the storage-optimal upper-bound curve assumes.
+
+The bench sweeps k at N=9, f=2, measuring per-version storage and
+probing liveness with f crashes.
+"""
+
+from repro.errors import OperationIncompleteError
+from repro.registers.cas import build_cas_system, cas_quorum_size
+from repro.util.tables import format_table
+
+from benchmarks.common import emit
+
+N, F, VALUE_BITS = 9, 2, 14  # 14 bits keeps every rate's field <= GF(2^14)
+
+
+def _sweep():
+    rows = []
+    for k in range(1, N - F + 1):
+        optimistic = k > N - 2 * F
+        handle = build_cas_system(
+            n=N, f=F, value_bits=VALUE_BITS, k=k, optimistic=optimistic
+        )
+        handle.write(12345)
+        handle.world.deliver_all()
+        per_version = handle.normalized_total_storage() / 2  # t0 + 1 write
+
+        # liveness probe: crash f servers, attempt another write
+        live = True
+        handle.crash_servers(range(N - F, N))
+        try:
+            handle.write(777, max_steps=4000)
+        except OperationIncompleteError:
+            live = False
+        rows.append(
+            (
+                k,
+                cas_quorum_size(N, k),
+                per_version,
+                "yes" if not optimistic else "no (optimistic)",
+                "yes" if live else "NO",
+            )
+        )
+    return rows
+
+
+def bench_cas_rate_ablation(benchmark):
+    rows = benchmark(_sweep)
+
+    for k, quorum, per_version, guaranteed, live in rows:
+        # storage follows N/k exactly (symbol granularity aside)
+        assert per_version >= N / k - 1e-9
+        # liveness iff the quorum fits in the survivors
+        assert (live == "yes") == (quorum <= N - F), (k, quorum, live)
+    # the boundary sits exactly at k = N - 2f
+    boundary = [r for r in rows if r[0] == N - 2 * F][0]
+    assert boundary[4] == "yes"
+    above = [r for r in rows if r[0] == N - 2 * F + 1][0]
+    assert above[4] == "NO"
+
+    emit(
+        "ablation_rate",
+        format_table(
+            ("k", "quorum", "storage/version (x log|V|)",
+             "liveness guaranteed", "live after f crashes"),
+            rows,
+            ".3f",
+        ),
+    )

@@ -1,0 +1,92 @@
+"""E5 — erasure-coded measured storage vs active writes (the ν-line).
+
+Runs CAS at Figure 1's parameters (N=21, f=10) with the storage-optimal
+rate k = N - f = 11 (the ``optimistic`` configuration the νN/(N-f)
+upper-bound curve assumes; liveness then needs failure-free runs, which
+these are).  With ν writes simultaneously active, every server
+accumulates one coded element per active version, so the measured peak
+tracks (ν + 1)·N/(N-f) — the paper's slope N/(N-f) plus one resident
+version for the initial value.
+
+Also measures CASGC: after the writes complete, garbage collection
+returns the resident cost to (δ+1)·N/(N-f) instead of growing with the
+total number of writes ever performed.
+"""
+
+from repro.core.bounds import erasure_coding_upper_total_normalized
+from repro.registers.cas import build_cas_system
+from repro.registers.casgc import build_casgc_system
+from repro.util.tables import format_table
+from repro.workload.patterns import measure_peak_storage_with_nu_writes
+
+from benchmarks.common import emit
+
+N, F = 21, 10
+K = N - F  # 11: the rate the paper's upper-bound curve assumes
+VALUE_BITS = 55  # k symbols of 5 bits (GF(2^5) holds 21 evaluation points)
+NUS = [1, 2, 4, 6, 8]
+
+
+def _measure_cas():
+    def build(nu):
+        return build_cas_system(
+            n=N, f=F, value_bits=VALUE_BITS, k=K, num_writers=max(1, nu),
+            optimistic=True,
+        )
+
+    rows = []
+    for nu in NUS:
+        peak = measure_peak_storage_with_nu_writes(build, nu)
+        formula = erasure_coding_upper_total_normalized(N, F, nu)
+        rows.append((nu, peak.normalized_total(VALUE_BITS), formula))
+    return rows
+
+
+def bench_cas_storage_vs_nu(benchmark):
+    rows = benchmark(_measure_cas)
+
+    slope_paper = N / (N - F)
+    for (nu1, peak1, _), (nu2, peak2, _) in zip(rows, rows[1:]):
+        slope = (peak2 - peak1) / (nu2 - nu1)
+        assert abs(slope - slope_paper) < 0.05, (slope, slope_paper)
+    # measured = formula + one resident initial version
+    for nu, peak, formula in rows:
+        assert abs(peak - (formula + slope_paper)) < 0.05
+
+    emit(
+        "cas_storage",
+        format_table(
+            ("nu", "measured peak total", "paper line nu*N/(N-f)"),
+            rows,
+            ".3f",
+        ),
+    )
+
+
+def bench_casgc_resident_storage(benchmark):
+    """CASGC's resident (post-GC) cost is flat in history length."""
+
+    def run():
+        handle = build_casgc_system(
+            n=N, f=F, value_bits=VALUE_BITS, k=K, gc_depth=0, optimistic=True
+        )
+        costs = []
+        for v in range(1, 9):
+            handle.write(v)
+            # the write returns at a quorum; drain stragglers so the
+            # measurement is the settled resident cost
+            handle.world.deliver_all()
+            costs.append(handle.normalized_total_storage())
+        return costs
+
+    costs = benchmark(run)
+    # after every completed write the resident cost is one version: N/(N-f)
+    assert all(abs(c - N / (N - F)) < 1e-9 for c in costs)
+    emit(
+        "casgc_resident",
+        format_table(
+            ("writes completed", "resident normalized total"),
+            list(enumerate(costs, start=1)),
+            ".3f",
+        ),
+    )

@@ -1,0 +1,103 @@
+"""E9 — coding substrate: Singleton tightness and throughput.
+
+Section 2.1's classical facts, verified on our from-scratch codes:
+an (N, N-f) Reed-Solomon code meets the Singleton bound with equality
+(total storage N/(N-f) per value), while replication tolerating the
+same f costs a factor ~(f+1)/(N/(N-f)) more.  Also times the
+encode/decode hot paths the register simulations lean on.
+"""
+
+from repro.coding.mds import achieves_singleton, is_mds, singleton_bound_bits
+from repro.coding.multiversion import (
+    mvc_per_server_lower_bound,
+    mvc_separate_coding_per_server_cost,
+)
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.util.tables import format_table
+
+from benchmarks.common import emit
+
+CODE = ReedSolomonCode(21, 11)  # Figure 1's parameters: f = 10 erasures
+
+
+def bench_rs_encode(benchmark):
+    value = (1 << CODE.value_bits) - 12345
+    codeword = benchmark(CODE.encode, value)
+    assert len(codeword) == 21
+
+
+def bench_rs_decode_from_any_k(benchmark):
+    value = 987654321 % CODE.value_space_size
+    codeword = CODE.encode(value)
+    symbols = {i: codeword[i] for i in range(5, 16)}  # an arbitrary k-subset
+
+    result = benchmark(CODE.decode, symbols)
+    assert result == value
+
+
+def bench_singleton_tightness(benchmark):
+    def verify():
+        rows = []
+        for n, f in [(5, 2), (9, 4), (15, 7), (21, 10)]:
+            code = ReedSolomonCode(n, n - f)
+            total = code.n * code.symbol_bits
+            bound = singleton_bound_bits(n, f, code.value_bits)
+            repl_total = (f + 1) * code.value_bits
+            rows.append(
+                (n, f, total, bound, achieves_singleton(code),
+                 repl_total / total)
+            )
+        return rows
+
+    rows = benchmark(verify)
+    for n, f, total, bound, tight, advantage in rows:
+        assert tight
+        assert abs(total - bound) < 1e-9
+        # replication costs ~(f+1)(N-f)/N times more
+        assert abs(advantage - (f + 1) * (n - f) / n) < 1e-9
+    emit(
+        "coding_singleton",
+        format_table(
+            ("N", "f", "RS total bits", "Singleton bound", "tight",
+             "replication / RS cost"),
+            [(n, f, float(t), b, "yes" if ok else "NO", adv)
+             for n, f, t, b, ok, adv in rows],
+            ".3f",
+        ),
+    )
+
+
+def bench_mds_verification(benchmark):
+    code = ReedSolomonCode(10, 4)
+    assert benchmark(is_mds, code)
+
+
+def bench_multiversion_bounds(benchmark):
+    """MVC extension: separate coding vs the Wang-Cadambe bound."""
+
+    def compute():
+        rows = []
+        for nu in range(1, 12):
+            rows.append(
+                (
+                    nu,
+                    mvc_per_server_lower_bound(nu, 21, 10),
+                    mvc_separate_coding_per_server_cost(nu, 21, 10),
+                    1.0,  # replication keeps only the latest version
+                )
+            )
+        return rows
+
+    rows = benchmark(compute)
+    for nu, lb, separate, repl in rows:
+        assert lb <= separate + 1e-12
+        assert lb <= max(repl, separate) + 1e-12
+    emit(
+        "multiversion",
+        format_table(
+            ("nu", "MVC lower bound /server", "separate RS coding",
+             "replication"),
+            rows,
+            ".4f",
+        ),
+    )

@@ -1,0 +1,62 @@
+"""E13 — communication costs across algorithms (Section 2.3 context).
+
+The paper notes the erasure-coded algorithms trade storage for extra
+phases.  Measured per-operation costs for each algorithm at N=9, f=4:
+message counts (round structure) and value-derived bits on the wire
+(erasure coding ships 1/k of the value per server).
+"""
+
+from repro.analysis.communication import communication_table
+from repro.registers.abd import build_abd_system
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.registers.cas import build_cas_system
+from repro.registers.casgc import build_casgc_system
+from repro.registers.coded_swmr import build_coded_swmr_system
+from repro.util.tables import format_table
+
+from benchmarks.common import emit
+
+N, F, VALUE_BITS = 9, 4, 16
+
+
+def _build_all():
+    return {
+        "abd": build_abd_system(n=N, f=F, value_bits=VALUE_BITS),
+        "swmr-abd": build_swmr_abd_system(n=N, f=F, value_bits=VALUE_BITS),
+        "cas (k=1)": build_cas_system(n=N, f=F, value_bits=VALUE_BITS),
+        "cas (k=5, opt.)": build_cas_system(
+            n=N, f=F, value_bits=VALUE_BITS, k=N - F, optimistic=True
+        ),
+        "casgc (k=1)": build_casgc_system(
+            n=N, f=F, value_bits=VALUE_BITS, gc_depth=1
+        ),
+        "coded-swmr (k=5, opt.)": build_coded_swmr_system(
+            n=N, f=F, value_bits=VALUE_BITS, k=N - F, optimistic=True
+        ),
+    }
+
+
+def bench_communication(benchmark):
+    rows = benchmark(lambda: communication_table(_build_all()))
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    # 2-phase ABD write = 4N messages; 3-phase CAS write = 6N
+    assert by_key[("abd", "write")][2] == 4 * N
+    assert by_key[("cas (k=1)", "write")][2] == 6 * N
+    # one-phase SWMR write = 2N
+    assert by_key[("swmr-abd", "write")][2] == 2 * N
+    # rate-optimal coding ships fewer value bits per write than ABD
+    assert (
+        by_key[("cas (k=5, opt.)", "write")][3]
+        < by_key[("abd", "write")][3]
+    )
+
+    emit(
+        "communication",
+        format_table(
+            ("algorithm", "op", "messages", "value bits on wire",
+             "normalized (x log2|V|)"),
+            rows,
+            ".3f",
+        ),
+    )

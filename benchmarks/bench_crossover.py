@@ -1,0 +1,55 @@
+"""E6 — replication vs erasure-coding crossover (Figure 1's crossing).
+
+For a grid of (N, f): the smallest ν at which the erasure-coding cost
+ν·N/(N-f) reaches replication's f+1.  At the Figure 1 point the
+crossover is ν = 6; the paper's Section 2.3 claim is that EC's benefit
+"vanishes as the number of active writes increases".
+"""
+
+from repro.core.bounds import (
+    abd_upper_total_normalized,
+    erasure_coding_upper_total_normalized,
+)
+from repro.core.comparison import crossover_active_writes
+from repro.util.tables import format_table
+
+from benchmarks.common import emit
+
+GRID = [(5, 2), (9, 4), (15, 7), (21, 10), (30, 10), (51, 25), (101, 50)]
+
+
+def _compute():
+    rows = []
+    for n, f in GRID:
+        nu = crossover_active_writes(n, f)
+        rows.append(
+            (
+                n,
+                f,
+                nu,
+                erasure_coding_upper_total_normalized(n, f, max(1, nu - 1)),
+                abd_upper_total_normalized(f),
+                erasure_coding_upper_total_normalized(n, f, nu),
+            )
+        )
+    return rows
+
+
+def bench_crossover_grid(benchmark):
+    rows = benchmark(_compute)
+    for n, f, nu, ec_before, abd, ec_after in rows:
+        assert ec_after >= abd - 1e-9
+        if nu > 1:
+            assert ec_before < abd
+    # Figure 1's point
+    fig1 = next(r for r in rows if (r[0], r[1]) == (21, 10))
+    assert fig1[2] == 6
+    emit(
+        "crossover",
+        format_table(
+            ("N", "f", "crossover nu", "EC cost at nu-1", "ABD cost f+1",
+             "EC cost at nu"),
+            rows,
+            ".3f",
+        ),
+    )

@@ -1,0 +1,56 @@
+"""E12 — Figure 1, measured: real algorithms against the formula curves.
+
+Runs ABD and rate-optimal CAS at N=21, f=10 with ν concurrently active
+writes, plots measured peaks next to the formula lines, and asserts the
+figure's qualitative content holds for *running code*:
+
+* measured ABD is flat (N values on N servers — f+1 on the minimal
+  deployment) while measured CAS climbs with the formula's slope;
+* both measured costs respect every applicable lower bound;
+* CAS beats ABD at low concurrency and loses once ν passes the
+  crossover.
+"""
+
+from repro.analysis.empirical import empirical_figure1
+from repro.analysis.report import ascii_line_plot, render_series_table
+
+from benchmarks.common import emit
+
+N, F = 21, 10
+NUS = (1, 2, 4, 6, 8)
+
+
+def bench_empirical_figure1(benchmark):
+    series = benchmark(empirical_figure1, N, F, NUS)
+
+    measured_abd = series["measured_abd"]
+    measured_cas = series["measured_cas"]
+    t65 = series["theorem65"]
+    t51 = series["theorem51"]
+
+    # ABD flat; CAS climbing with the formula slope (one resident extra).
+    assert all(v == measured_abd[0] for v in measured_abd)
+    slope = (measured_cas[-1] - measured_cas[0]) / (NUS[-1] - NUS[0])
+    assert abs(slope - N / (N - F)) < 0.05
+
+    # lower bounds respected by the measured costs
+    for i in range(len(NUS)):
+        assert measured_abd[i] >= t51[i] - 1e-9
+        assert measured_cas[i] >= t65[i] - 1e-9
+
+    # crossover: coded cheaper at nu=1, dearer by nu=8 (vs minimal-
+    # deployment replication cost f+1)
+    assert measured_cas[0] < F + 1
+    assert measured_cas[-1] > F + 1
+
+    xs = series["nu"]
+    plot_series = {k: v for k, v in series.items() if k != "nu"}
+    emit(
+        "empirical_figure1",
+        render_series_table(xs, plot_series, x_header="nu")
+        + "\n\n"
+        + ascii_line_plot(
+            xs, plot_series, width=64, height=18,
+            title="Figure 1, measured: N=21, f=10",
+        ),
+    )

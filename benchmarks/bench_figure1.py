@@ -1,0 +1,52 @@
+"""E1 — Figure 1: normalized storage bounds vs active writes (N=21, f=10).
+
+Regenerates all five curves of the paper's only figure and asserts the
+facts readable off it:
+
+* Theorem B.1 lower bound sits at 21/11 ≈ 1.91;
+* Theorem 5.1 sits at 42/13 ≈ 3.23 (≈ 1.7x stronger here, → 2x as N grows);
+* Theorem 6.5 climbs with ν and saturates at f+1 = 11;
+* ABD's upper bound is flat at 11;
+* the erasure-coding upper bound is the line ν·21/11, crossing ABD at ν=6.
+"""
+
+from repro.analysis.figure1 import (
+    FIGURE1_HEADERS,
+    figure1_rows,
+    figure1_series,
+)
+from repro.analysis.report import ascii_line_plot
+from repro.util.tables import format_table
+
+from benchmarks.common import emit
+
+
+def _generate():
+    series = figure1_series()
+    rows = figure1_rows()
+    return series, rows
+
+
+def bench_figure1_series(benchmark):
+    series, rows = benchmark(_generate)
+
+    # -- the paper's shape facts --------------------------------------
+    assert abs(series["theorem_b1"][0] - 21 / 11) < 1e-12
+    assert abs(series["theorem51"][0] - 42 / 13) < 1e-12
+    assert series["abd_upper"][0] == 11.0
+    t65 = series["theorem65"]
+    assert t65 == sorted(t65) and t65[-1] == 11.0
+    ec = series["erasure_coding_upper"]
+    crossover = next(i for i, v in enumerate(ec) if v >= 11.0) + 1
+    assert crossover == 6
+
+    table = format_table(FIGURE1_HEADERS, rows, ".3f")
+    xs = series["nu"]
+    plot = ascii_line_plot(
+        xs,
+        {k: v for k, v in series.items() if k != "nu"},
+        width=64,
+        height=18,
+        title="Figure 1: normalized total-storage cost, N=21, f=10",
+    )
+    emit("figure1", table + "\n\n" + plot)

@@ -1,0 +1,71 @@
+"""E8 — Section 7 summary: classifying storage coefficients g(ν, N, f).
+
+Evaluates the paper's closing trichotomy at N=21, f=10 for measured
+algorithm costs and hypothetical targets, reproducing the "state of
+the art" summary:
+
+* below 2N/(N-f+2): impossible;
+* below ν*N/(N-f+ν*-1): must escape Theorem 6.5's write-protocol class;
+* below f+1 for saturating ν: must jointly encode across versions [23].
+"""
+
+from repro.core.bounds import (
+    erasure_coding_upper_total_normalized,
+    theorem51_total_normalized,
+)
+from repro.core.regimes import classify_storage_coefficient
+from repro.registers.abd import build_abd_system
+from repro.util.tables import format_table
+
+from benchmarks.common import emit
+
+N, F = 21, 10
+
+
+def _measured_abd_g():
+    handle = build_abd_system(n=N, f=F, value_bits=16)
+    handle.write(1)
+    # per-server cost is 1 value; minimal deployment uses f+1 servers
+    return (F + 1) * handle.normalized_max_storage()
+
+
+def _classify_all():
+    cases = [
+        ("ABD (measured, min deployment)", 12, _measured_abd_g()),
+        ("EC algorithms at nu=3", 3, erasure_coding_upper_total_normalized(N, F, 3)),
+        ("hypothetical g below Thm 5.1", 1, theorem51_total_normalized(N, F) - 0.2),
+        ("hypothetical g = 5 at nu=8", 8, 5.0),
+        ("hypothetical g = 5 at nu=12", 12, 5.0),
+    ]
+    return [
+        (name, nu, g, classify_storage_coefficient(N, F, nu, g))
+        for name, nu, g in cases
+    ]
+
+
+def bench_regime_classification(benchmark):
+    results = benchmark(_classify_all)
+    by_name = {name: r for name, _, _, r in results}
+
+    assert not by_name["ABD (measured, min deployment)"].impossible
+    assert not by_name["ABD (measured, min deployment)"].escapes_theorem65_class
+    assert not by_name["EC algorithms at nu=3"].escapes_theorem65_class
+    assert by_name["hypothetical g below Thm 5.1"].impossible
+    assert by_name["hypothetical g = 5 at nu=8"].escapes_theorem65_class
+    assert by_name["hypothetical g = 5 at nu=12"].requires_cross_version_coding
+
+    rows = [
+        (name, nu, g, "yes" if r.impossible else "no",
+         "yes" if r.escapes_theorem65_class else "no",
+         "yes" if r.requires_cross_version_coding else "no")
+        for name, nu, g, r in results
+    ]
+    emit(
+        "regimes",
+        format_table(
+            ("case", "nu", "g", "impossible", "escapes Thm6.5 class",
+             "needs cross-version coding"),
+            rows,
+            ".3f",
+        ),
+    )

@@ -1,0 +1,55 @@
+"""E2 — Theorem B.1 executable proof (Appendix B construction).
+
+For each algorithm: run the |V| single-write executions, verify the
+value -> state-vector map is injective, and check the observed state
+counts satisfy ``sum log2|S_i| >= log2|V|`` over the N-f survivors.
+"""
+
+import pytest
+
+from repro.lowerbound.theorem_b1 import run_theorem_b1_experiment
+from repro.registers.abd import build_abd_system
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.registers.cas import build_cas_system
+from repro.util.tables import format_table
+
+from benchmarks.common import emit
+
+HEADERS = (
+    "algorithm", "N", "f", "|V|", "observed sum bits", "rhs=log|V|",
+    "injective", "holds",
+)
+
+CONFIGS = [
+    ("swmr-abd", lambda n, f, vb: build_swmr_abd_system(n=n, f=f, value_bits=vb), 5, 2, 3),
+    ("abd", lambda n, f, vb: build_abd_system(n=n, f=f, value_bits=vb), 5, 2, 3),
+    ("cas", lambda n, f, vb: build_cas_system(n=n, f=f, value_bits=vb), 5, 1, 4),
+]
+
+
+def _run_all():
+    certs = []
+    for name, builder, n, f, vb in CONFIGS:
+        certs.append(
+            run_theorem_b1_experiment(builder, n=n, f=f, value_bits=vb, algorithm=name)
+        )
+    return certs
+
+
+def bench_theorem_b1(benchmark):
+    certs = benchmark(_run_all)
+    for cert in certs:
+        assert cert.injectivity.injective, cert.algorithm
+        assert cert.holds, cert.algorithm
+    emit(
+        "theorem_b1",
+        format_table(HEADERS, [c.as_row() for c in certs], ".3f"),
+    )
+
+
+@pytest.mark.parametrize("name,builder,n,f,vb", CONFIGS, ids=[c[0] for c in CONFIGS])
+def bench_theorem_b1_per_algorithm(benchmark, name, builder, n, f, vb):
+    cert = benchmark(
+        run_theorem_b1_experiment, builder, n=n, f=f, value_bits=vb, algorithm=name
+    )
+    assert cert.holds

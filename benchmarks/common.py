@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's reported artifacts (the
+single Figure 1 plus the quantitative claims of Sections 2, 6 and 7),
+asserts the *shape* facts the paper reports (who wins, by what factor,
+where crossovers fall), and writes the full table to
+``benchmarks/results/<name>.txt`` so the numbers are inspectable
+without rerunning.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a bench's table/plot under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text.rstrip() + "\n")
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Write the result file and echo it (visible under ``pytest -s``)."""
+    path = write_result(name, text)
+    print(f"\n=== {name} (saved to {path}) ===")
+    print(text)

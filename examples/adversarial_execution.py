@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Run the paper's lower-bound proof as a program.
+
+Walks through the Section 4.3 construction against a real algorithm
+(single-writer ABD):
+
+1. build the adversarial execution alpha(v1, v2) — f servers crash,
+   write v1 completes, then write v2 runs with a snapshot at every
+   point;
+2. probe the valency of each point (fork the world, freeze the writer,
+   run a read);
+3. locate the critical pair (Q1, Q2) where the readable value flips
+   from v1 to v2;
+4. fingerprint the surviving servers' states and verify the injective
+   mapping that forces the storage lower bound.
+
+Run:  python examples/adversarial_execution.py
+"""
+
+from repro import (
+    construct_two_write_execution,
+    find_critical_pair,
+    run_theorem41_experiment,
+    run_theorem_b1_experiment,
+)
+from repro.lowerbound.valency import probe_read_value
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.util.tables import format_table
+
+
+def builder(n: int, f: int, value_bits: int):
+    return build_swmr_abd_system(n=n, f=f, value_bits=value_bits)
+
+
+def main() -> None:
+    n, f, value_bits = 5, 2, 2
+    v1, v2 = 1, 2
+
+    # -- one execution, step by step -----------------------------------------
+    print(f"alpha(v1={v1}, v2={v2}) on SWMR-ABD, N={n}, f={f}")
+    execution = construct_two_write_execution(
+        builder, n, f, value_bits, v1, v2
+    )
+    print(f"  failed servers:    {execution.failed_server_ids}")
+    print(f"  surviving servers: {execution.surviving_server_ids}")
+    print(f"  snapshot window:   {execution.num_points} points "
+          "(P_0 after write(v1) .. P_M after write(v2))\n")
+
+    print("valency probe at each point (read with writer frozen):")
+    probes = []
+    for i, snap in enumerate(execution.snapshots):
+        value = probe_read_value(
+            snap, [execution.writer_pid], execution.reader_pid
+        )
+        probes.append(value)
+    print("  " + " ".join(str(v) for v in probes))
+
+    pair = find_critical_pair(execution)
+    print(
+        f"\ncritical pair at window index {pair.index}: "
+        f"read(Q1)={pair.value_at_q1}, read(Q2)={pair.value_at_q2}"
+    )
+    changed = [
+        pid
+        for pid in execution.surviving_server_ids
+        if pair.q1.process(pid).state_digest()
+        != pair.q2.process(pid).state_digest()
+    ]
+    print(f"servers changing state between Q1 and Q2: {changed} "
+          "(Lemma 4.8 allows at most one)")
+
+    # -- the full counting experiments ----------------------------------------
+    print("\nTheorem B.1 experiment (all |V| single-write executions):")
+    b1 = run_theorem_b1_experiment(
+        builder, n, f, value_bits=3, algorithm="swmr-abd"
+    )
+    print(format_table(
+        ("alg", "N", "f", "|V|", "observed bits", "rhs", "injective", "holds"),
+        [b1.as_row()],
+        ".3f",
+    ))
+
+    print("\nTheorem 4.1 experiment (all |V|(|V|-1) ordered pairs):")
+    t41 = run_theorem41_experiment(
+        builder, n, f, value_bits, algorithm="swmr-abd"
+    )
+    print(format_table(
+        ("alg", "N", "f", "|V|", "pairs", "lhs", "rhs", "injective", "holds"),
+        [t41.as_row()],
+        ".3f",
+    ))
+    assert b1.holds and t41.holds
+    print("\nboth certificates hold: the algorithm respects the bounds, and "
+          "the proofs' counting steps materialized exactly as the paper says")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Explore the paper's storage-cost bounds: Figure 1 and beyond.
+
+Regenerates the paper's Figure 1 (N=21, f=10) as a table and an ASCII
+plot, shows the "twice as strong" asymptotic of Section 2.2, and runs
+the Section 7 regime classification on a few storage targets.
+
+Run:  python examples/bounds_explorer.py
+"""
+
+from repro import classify_storage_coefficient, figure1_series
+from repro.analysis.figure1 import FIGURE1_HEADERS, figure1_rows
+from repro.analysis.report import ascii_line_plot
+from repro.analysis.sweeps import sweep_improvement_ratio
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    # -- Figure 1 ----------------------------------------------------------
+    print("Figure 1: normalized total-storage cost (N=21, f=10)\n")
+    print(format_table(FIGURE1_HEADERS, figure1_rows(nu_max=12), ".3f"))
+
+    series = figure1_series()
+    xs = series.pop("nu")
+    print()
+    print(ascii_line_plot(xs, series, width=60, height=16))
+
+    # -- Section 2.2: the 2x improvement ------------------------------------
+    print("\nImprovement over the Singleton-style bound as N grows (f=10):")
+    rows = [
+        (int(r["n"]), r["singleton"], r["theorem41"], r["ratio41"])
+        for r in sweep_improvement_ratio(10, [21, 100, 1000, 100000])
+    ]
+    print(format_table(("N", "old bound", "Thm 4.1", "ratio"), rows, ".4f"))
+
+    # -- Section 7: what would a cheaper algorithm have to look like? --------
+    print("\nSection 7 regime classification at N=21, f=10:")
+    for nu, g in [(1, 1.5), (8, 5.0), (12, 5.0), (12, 11.0)]:
+        result = classify_storage_coefficient(21, 10, nu, g)
+        print(f"  g={g:5.2f} at nu={nu:2d}: {result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Model-check a register algorithm over EVERY schedule.
+
+Random testing samples interleavings; for small configurations the
+explorer enumerates all of them.  This example:
+
+1. exhaustively verifies that a SWMR-ABD write concurrent with a read
+   is atomic under *every* delivery schedule (~10^4 states);
+2. mechanically *finds* a new/old-inversion schedule once a second,
+   sequential read enters the picture — the counterexample that
+   separates regular registers from atomic ones, discovered by search
+   rather than constructed by hand.
+
+Run:  python examples/exhaustive_verification.py
+"""
+
+from repro import ScheduleExplorer, explore_all_schedules
+from repro.consistency.atomicity import check_atomicity
+from repro.consistency.regularity import check_regular
+from repro.registers.abd_swmr import build_swmr_abd_system
+
+
+def write_read_world():
+    handle = build_swmr_abd_system(n=3, f=1, value_bits=2, num_readers=1)
+    w = handle.world
+    w.invoke_write(handle.writer_ids[0], 1)
+    w.invoke_read(handle.reader_ids[0])
+    return w
+
+
+def inversion_prefix_world():
+    handle = build_swmr_abd_system(n=3, f=1, value_bits=2, num_readers=2)
+    w = handle.world
+    handle.write(1)
+    w.deliver_all()
+    w.invoke_write(handle.writer_ids[0], 2)   # concurrent write(2)...
+    w.deliver(handle.writer_ids[0], "s000")   # ...lands at one server
+    w.invoke_read(handle.reader_ids[0])       # first read begins
+    return w
+
+
+def main() -> None:
+    print("1) exhaustive sweep: write(1) || read, SWMR-ABD, N=3, f=1")
+    result = explore_all_schedules(
+        write_read_world,
+        checker=lambda ops: check_atomicity(ops).ok and check_regular(ops).ok,
+        max_states=50_000,
+    )
+    print(f"   states explored:    {result.states_visited}")
+    print(f"   maximal executions: {result.executions_checked}")
+    print(f"   exhausted:          {result.exhausted}")
+    print(f"   violations:         {len(result.violations)}")
+    assert result.exhausted and result.ok
+    print("   => atomic AND regular in every schedule of this configuration\n")
+
+    print("2) counterexample hunt: a second read, invoked after the first")
+    explorer = ScheduleExplorer(
+        checker=lambda ops: check_atomicity(ops).ok,
+        followups=[(2, lambda world: world.invoke_read("r001"))],
+        stop_at_first_violation=True,
+        max_states=200_000,
+    )
+    result = explorer.explore(inversion_prefix_world())
+    assert result.violations
+    path, ops = result.violations[0]
+    reads = [(op.client, op.value) for op in ops if op.kind == "read"]
+    print(f"   states explored before counterexample: {result.states_visited}")
+    print(f"   violating schedule length: {len(path)} deliveries")
+    print(f"   reads returned: {reads}  <- new value, then old: an inversion")
+    assert check_regular(ops).ok
+    print("   the violating execution is still REGULAR — exactly the gap")
+    print("   between Lamport regularity and atomicity that lets the paper's")
+    print("   lower bounds (stated for regular registers) cover atomic ones")
+
+
+if __name__ == "__main__":
+    main()

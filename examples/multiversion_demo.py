@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Multi-version coding: why consistent storage costs more (extension).
+
+The paper's bounds connect to the multi-version coding framework of
+Wang & Cadambe [24]: nu versions of a value propagate asynchronously,
+and a reader contacting any N-f servers must decode the latest
+*complete* version or newer.  This demo stores versions with separate
+Reed-Solomon codes, shows the decode guarantee under partial
+propagation, and compares the per-server cost against the
+Wang-Cadambe lower bound nu/(N-f+nu-1).
+
+Run:  python examples/multiversion_demo.py
+"""
+
+from repro import MultiVersionCode
+from repro.coding.multiversion import (
+    mvc_per_server_lower_bound,
+    mvc_separate_coding_per_server_cost,
+)
+from repro.util.rng import SeededRNG
+from repro.util.tables import format_table
+
+N, F, VALUE_BITS = 6, 2, 12
+
+
+def main() -> None:
+    mvc = MultiVersionCode(n=N, f=F, value_bits=VALUE_BITS)
+    print(f"N={N}, f={F}, per-version code: ({N}, {mvc.k}) Reed-Solomon")
+    print(f"per-server cost: {mvc.per_server_bits_per_version} bits/version\n")
+
+    # version 1 complete everywhere; version 2 reaches only 3 servers
+    rng = SeededRNG(2024)
+    values = {1: 1111, 2: 2222}
+    received = []
+    for server in range(N):
+        seen = {1: values[1]}
+        if server < 3:
+            seen[2] = values[2]
+        received.append(seen)
+
+    complete = mvc.latest_complete_version([set(r) for r in received])
+    print(f"latest complete version: {complete}")
+
+    for trial in range(3):
+        readers = sorted(rng.sample(range(N), N - F))
+        states = {s: mvc.server_state(received[s], s) for s in readers}
+        result = mvc.decode_latest(states)
+        print(
+            f"  reader contacting servers {readers}: "
+            f"decodes version {result.version} = {result.value}"
+        )
+        assert result.version >= complete
+        assert result.value == values[result.version]
+
+    # -- cost comparison ------------------------------------------------------
+    print("\nper-server storage (normalized by log2|V|) vs number of versions:")
+    rows = []
+    for nu in range(1, 9):
+        rows.append(
+            (
+                nu,
+                mvc_per_server_lower_bound(nu, N, F),
+                mvc_separate_coding_per_server_cost(nu, N, F),
+                1.0,
+            )
+        )
+    print(format_table(
+        ("nu", "lower bound [24]", "separate RS (this demo)", "replication"),
+        rows,
+        ".4f",
+    ))
+    print("\nseparate coding pays nu/(N-f); the bound says some nu-dependence "
+          "is unavoidable — the same phenomenon Theorem 6.5 proves for "
+          "shared memory emulation")
+
+
+if __name__ == "__main__":
+    main()

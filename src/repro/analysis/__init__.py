@@ -1,0 +1,39 @@
+"""Analysis layer: figure/table series generation and text rendering."""
+
+from repro.analysis.figure1 import (
+    FIGURE1_F,
+    FIGURE1_N,
+    figure1_rows,
+    figure1_series,
+)
+from repro.analysis.sweeps import (
+    sweep_improvement_ratio,
+    sweep_finite_v_convergence,
+    sweep_proportional_f,
+)
+from repro.analysis.report import ascii_line_plot, render_series_table
+from repro.analysis.communication import (
+    CommunicationCost,
+    communication_table,
+    measure_operation_costs,
+)
+from repro.analysis.empirical import empirical_figure1
+from repro.analysis.statespace import growth_rate, statespace_growth
+
+__all__ = [
+    "FIGURE1_N",
+    "FIGURE1_F",
+    "figure1_series",
+    "figure1_rows",
+    "sweep_improvement_ratio",
+    "sweep_finite_v_convergence",
+    "sweep_proportional_f",
+    "ascii_line_plot",
+    "render_series_table",
+    "CommunicationCost",
+    "communication_table",
+    "measure_operation_costs",
+    "empirical_figure1",
+    "statespace_growth",
+    "growth_rate",
+]

@@ -1,0 +1,86 @@
+"""Figure 1 reproduction: normalized storage bounds vs active writes.
+
+The paper's only figure plots, for ``N = 21`` servers and ``f = 10``
+failures, the total-storage cost normalized by ``log2 |V|`` as
+``|V| -> infinity``:
+
+* Theorem B.1 lower bound ``N/(N-f)`` (flat),
+* Theorem 5.1 lower bound ``2N/(N-f+2)`` (flat),
+* Theorem 6.5 lower bound ``ν* N/(N-f+ν*-1)`` (grows, then saturates
+  at ``ν* = f+1``),
+* ABD upper bound ``f+1`` (flat),
+* erasure-coding upper bound ``ν N/(N-f)`` (linear in ``ν``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.bounds import (
+    abd_upper_total_normalized,
+    erasure_coding_upper_total_normalized,
+    singleton_total_normalized,
+    theorem51_total_normalized,
+    theorem65_total_normalized,
+)
+
+#: The paper's Figure 1 parameters.
+FIGURE1_N = 21
+FIGURE1_F = 10
+FIGURE1_NU_MAX = 16
+
+
+def figure1_series(
+    n: int = FIGURE1_N,
+    f: int = FIGURE1_F,
+    nu_max: int = FIGURE1_NU_MAX,
+) -> Dict[str, List[float]]:
+    """All five curves of Figure 1, evaluated at ``nu = 1..nu_max``.
+
+    Returns a dict with key ``"nu"`` (the x-axis) and one key per
+    curve.  Lower-bound curves independent of ``nu`` are returned as
+    flat series so the plot overlays them directly.
+    """
+    nus = list(range(1, nu_max + 1))
+    return {
+        "nu": [float(nu) for nu in nus],
+        "theorem_b1": [singleton_total_normalized(n, f)] * len(nus),
+        "theorem51": [theorem51_total_normalized(n, f)] * len(nus),
+        "theorem65": [theorem65_total_normalized(n, f, nu) for nu in nus],
+        "abd_upper": [abd_upper_total_normalized(f)] * len(nus),
+        "erasure_coding_upper": [
+            erasure_coding_upper_total_normalized(n, f, nu) for nu in nus
+        ],
+    }
+
+
+def figure1_rows(
+    n: int = FIGURE1_N,
+    f: int = FIGURE1_F,
+    nu_max: int = FIGURE1_NU_MAX,
+) -> List[Sequence[object]]:
+    """Figure 1 as table rows: one row per ``nu``."""
+    series = figure1_series(n, f, nu_max)
+    rows = []
+    for i, nu in enumerate(series["nu"]):
+        rows.append(
+            (
+                int(nu),
+                series["theorem_b1"][i],
+                series["theorem51"][i],
+                series["theorem65"][i],
+                series["abd_upper"][i],
+                series["erasure_coding_upper"][i],
+            )
+        )
+    return rows
+
+
+FIGURE1_HEADERS = (
+    "nu",
+    "ThmB.1 (lower)",
+    "Thm5.1 (lower)",
+    "Thm6.5 (lower)",
+    "ABD (upper)",
+    "EC (upper)",
+)

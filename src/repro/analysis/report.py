@@ -1,0 +1,75 @@
+"""Text rendering: ASCII line plots and series tables for bench output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.util.tables import format_table
+
+#: Glyphs assigned to series, in declaration order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_line_plot(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Render multiple series on a shared-axes ASCII plot.
+
+    Each series gets a glyph; later series overwrite earlier ones where
+    they collide (acceptable for the coarse shape checks benches do).
+    """
+    if not xs or not series:
+        return "(empty plot)"
+    y_min = min(min(ys) for ys in series.values())
+    y_max = max(max(ys) for ys in series.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1, int((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, height - 1 - int(frac * (height - 1)))
+
+    legend = []
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        for x, y in zip(xs, ys):
+            grid[row(y)][col(x)] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_min:.2f} .. {y_max:.2f}]")
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    lines.extend("|" + "".join(r) + "|" for r in grid)
+    lines.append(border)
+    lines.append(f"x: [{x_min:.2f} .. {x_max:.2f}]")
+    lines.append("   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    x_header: str = "x",
+    float_fmt: str = ".4f",
+) -> str:
+    """Series as an aligned table with ``x`` in the first column."""
+    headers = [x_header] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, float_fmt)

@@ -1,0 +1,76 @@
+"""State-space growth: observed information content vs ``|V|``.
+
+The theorems say server state spaces must grow with the value domain.
+This experiment makes the growth visible: run the Theorem B.1
+execution family at increasing ``value_bits`` and record the observed
+``Σ log2|S_i|`` next to the theorem's RHS (``log2|V|``) and the
+stronger Theorem 4.1/5.1 RHS forms.  For a correct algorithm the
+observed curve grows at least linearly in ``log2|V|`` and clears every
+applicable RHS at every size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.bounds import (
+    singleton_subset_rhs_bits,
+    theorem41_subset_rhs_bits,
+    theorem51_subset_rhs_bits,
+)
+from repro.lowerbound.executions import SystemBuilder
+from repro.lowerbound.theorem_b1 import run_theorem_b1_experiment
+
+
+def statespace_growth(
+    builder: SystemBuilder,
+    n: int,
+    f: int,
+    value_bits_range: Sequence[int],
+    algorithm: str = "unknown",
+) -> List[Dict[str, float]]:
+    """Observed state bits vs the theorem RHS across value sizes.
+
+    Each row: ``value_bits``, observed ``Σ log2|S_i|`` over the
+    survivors from the B.1 family, the B.1 RHS, and (where defined,
+    ``f >= 2`` for 4.1) the Theorem 4.1 and 5.1 per-subset RHS values
+    for context.
+    """
+    rows = []
+    for bits in value_bits_range:
+        cert = run_theorem_b1_experiment(
+            builder, n=n, f=f, value_bits=bits, algorithm=algorithm
+        )
+        v_size = 1 << bits
+        row = {
+            "value_bits": float(bits),
+            "observed_sum_bits": cert.observed_sum_bits,
+            "singleton_rhs": singleton_subset_rhs_bits(n, f, v_size),
+            "theorem51_rhs": theorem51_subset_rhs_bits(n, f, v_size),
+            "injective": 1.0 if cert.injectivity.injective else 0.0,
+        }
+        if f >= 2:
+            row["theorem41_rhs"] = theorem41_subset_rhs_bits(n, f, v_size)
+        rows.append(row)
+    return rows
+
+
+def growth_rate(rows: Sequence[Dict[str, float]]) -> float:
+    """Observed bits gained per extra value bit (linear-fit slope).
+
+    Simple least squares over (value_bits, observed_sum_bits); for a
+    replication-based algorithm on ``N-f`` survivors the slope is
+    ``N-f`` (each survivor's state space doubles per value bit); for a
+    rate-``k`` coded algorithm it is ``(N-f)/k`` per survivor times...
+    measured, not assumed — the benches assert the direction.
+    """
+    xs = [r["value_bits"] for r in rows]
+    ys = [r["observed_sum_bits"] for r in rows]
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    return cov / var if var else 0.0

@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure1``      print the Figure 1 table (optionally the ASCII plot)
+``bounds``       evaluate every bound at one (N, f, nu) point
+``crossover``    replication/erasure-coding crossover concurrency
+``classify``     Section 7 regime classification of a coefficient g
+``verify``       run an executable-proof experiment against an algorithm
+``assumptions``  audit a write protocol against Theorem 6.5's assumptions
+``demo``         build a register, run a tiny workload, check consistency
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.figure1 import FIGURE1_HEADERS, figure1_rows, figure1_series
+from repro.analysis.report import ascii_line_plot
+from repro.consistency.atomicity import check_atomicity
+from repro.consistency.regularity import check_regular
+from repro.core.bounds import evaluate_bounds
+from repro.core.comparison import crossover_active_writes
+from repro.core.regimes import classify_storage_coefficient
+from repro.lowerbound.assumptions import analyze_write_protocol
+from repro.lowerbound.theorem41 import run_theorem41_experiment
+from repro.lowerbound.theorem65 import run_theorem65_experiment
+from repro.lowerbound.theorem_b1 import run_theorem_b1_experiment
+from repro.registers.abd import build_abd_system
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.registers.cas import build_cas_system
+from repro.registers.casgc import build_casgc_system
+from repro.registers.coded_swmr import build_coded_swmr_system
+from repro.util.tables import format_table
+
+#: name -> builder(n, f, value_bits) for single-writer experiment drivers.
+ALGORITHMS: Dict[str, Callable] = {
+    "abd": lambda n, f, vb: build_abd_system(n=n, f=f, value_bits=vb),
+    "swmr-abd": lambda n, f, vb: build_swmr_abd_system(n=n, f=f, value_bits=vb),
+    "cas": lambda n, f, vb: build_cas_system(n=n, f=f, value_bits=vb),
+    "casgc": lambda n, f, vb: build_casgc_system(n=n, f=f, value_bits=vb, gc_depth=1),
+    "coded-swmr": lambda n, f, vb: build_coded_swmr_system(n=n, f=f, value_bits=vb),
+}
+
+#: name -> builder(n, f, value_bits, num_writers) for Theorem 6.5.
+MULTI_WRITER_ALGORITHMS: Dict[str, Callable] = {
+    "abd": lambda n, f, vb, nw: build_abd_system(n=n, f=f, value_bits=vb, num_writers=nw),
+    "cas": lambda n, f, vb, nw: build_cas_system(n=n, f=f, value_bits=vb, num_writers=nw),
+    "casgc": lambda n, f, vb, nw: build_casgc_system(
+        n=n, f=f, value_bits=vb, num_writers=nw, gc_depth=2
+    ),
+}
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    print(format_table(FIGURE1_HEADERS, figure1_rows(args.n, args.f, args.nu_max), ".3f"))
+    if args.plot:
+        series = figure1_series(args.n, args.f, args.nu_max)
+        xs = series.pop("nu")
+        print()
+        print(ascii_line_plot(xs, series, width=60, height=16,
+                              title=f"normalized storage bounds, N={args.n}, f={args.f}"))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    values = evaluate_bounds(args.n, args.f, args.nu)
+    rows = [(name, "-" if v is None else v) for name, v in values.as_dict().items()]
+    print(format_table(("bound", "normalized total storage"), rows, ".4f"))
+    print(f"\nbest lower bound: {values.best_lower():.4f}")
+    print(f"best upper bound: {values.best_upper():.4f}")
+    return 0
+
+
+def _cmd_crossover(args: argparse.Namespace) -> int:
+    nu = crossover_active_writes(args.n, args.f)
+    print(
+        f"erasure coding beats replication for nu < {nu}; "
+        f"replication (f+1 = {args.f + 1}) wins from nu = {nu} on"
+    )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    result = classify_storage_coefficient(args.n, args.f, args.nu, args.g)
+    print(result.summary())
+    for note in result.notes:
+        print(f"  - {note}")
+    return 1 if result.impossible else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.theorem == "b1":
+        cert = run_theorem_b1_experiment(
+            ALGORITHMS[args.algorithm], n=args.n, f=args.f,
+            value_bits=args.value_bits, algorithm=args.algorithm,
+        )
+        headers = ("alg", "N", "f", "|V|", "observed bits", "rhs",
+                   "injective", "holds")
+    elif args.theorem == "41":
+        cert = run_theorem41_experiment(
+            ALGORITHMS[args.algorithm], n=args.n, f=args.f,
+            value_bits=args.value_bits, algorithm=args.algorithm,
+        )
+        headers = ("alg", "N", "f", "|V|", "pairs", "lhs", "rhs",
+                   "injective", "holds")
+    else:  # "65"
+        if args.algorithm not in MULTI_WRITER_ALGORITHMS:
+            print(f"theorem 65 verification supports: "
+                  f"{sorted(MULTI_WRITER_ALGORITHMS)}", file=sys.stderr)
+            return 2
+        cert = run_theorem65_experiment(
+            MULTI_WRITER_ALGORITHMS[args.algorithm], n=args.n, f=args.f,
+            nu=args.nu, value_bits=args.value_bits, algorithm=args.algorithm,
+        )
+        headers = ("alg", "N", "f", "nu", "|V|", "tuples", "observed",
+                   "rhs", "info-complete", "holds")
+    print(format_table(headers, [cert.as_row()], ".3f"))
+    return 0 if cert.holds else 1
+
+
+def _cmd_assumptions(args: argparse.Namespace) -> int:
+    report = analyze_write_protocol(
+        ALGORITHMS[args.algorithm], args.n, args.f, args.value_bits,
+        algorithm=args.algorithm,
+    )
+    print(format_table(
+        ("algorithm", "black-box", "phases", "value-dep kinds",
+         "value-dep phases", "in Thm6.5 class"),
+        [report.as_row()],
+    ))
+    return 0 if report.satisfies_theorem65 else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.verification.explore import explore_all_schedules
+
+    def build():
+        handle = ALGORITHMS[args.algorithm](args.n, args.f, args.value_bits)
+        w = handle.world
+        w.invoke_write(handle.writer_ids[0], 1)
+        w.invoke_read(handle.reader_ids[0])
+        return w
+
+    result = explore_all_schedules(build, max_states=args.max_states)
+    print(
+        f"{args.algorithm} write||read, N={args.n}, f={args.f}: "
+        f"{result.states_visited} states, "
+        f"{result.executions_checked} maximal executions, "
+        f"exhausted={result.exhausted}"
+    )
+    if result.violations:
+        print(f"ATOMICITY VIOLATED in {len(result.violations)} execution(s)")
+        return 1
+    print("atomic in every explored execution")
+    return 0
+
+
+def _cmd_communication(args: argparse.Namespace) -> int:
+    from repro.analysis.communication import communication_table
+
+    systems = {
+        name: builder(args.n, args.f, args.value_bits)
+        for name, builder in ALGORITHMS.items()
+        if name in args.algorithms
+    }
+    rows = communication_table(systems)
+    print(format_table(
+        ("algorithm", "op", "messages", "value bits", "normalized"),
+        rows,
+        ".3f",
+    ))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    handle = ALGORITHMS[args.algorithm](args.n, args.f, args.value_bits)
+    for v in (1, 2, 3):
+        handle.write(v % handle.value_space_size)
+    value = handle.read().value
+    if handle.algorithm in ("swmr-abd", "coded-swmr") and not handle.params.get(
+        "read_write_back", False
+    ):
+        ok = check_regular(handle.world.operations).ok
+        kind = "regular"
+    else:
+        ok = check_atomicity(handle.world.operations).ok
+        kind = "atomic"
+    print(
+        f"{args.algorithm}: wrote 1,2,3; read() -> {value}; "
+        f"{kind} history: {'ok' if ok else 'VIOLATED'}; "
+        f"normalized total storage {handle.normalized_total_storage():.3f}"
+    )
+    return 0 if ok and value == 3 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Storage-cost lower bounds for shared memory emulation "
+        "(Cadambe-Wang-Lynch, PODC 2016) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_nf(p, n=21, f=10):
+        p.add_argument("--n", type=int, default=n, help="number of servers")
+        p.add_argument("--f", type=int, default=f, help="failure budget")
+
+    p = sub.add_parser("figure1", help="print the Figure 1 table")
+    add_nf(p)
+    p.add_argument("--nu-max", type=int, default=16)
+    p.add_argument("--plot", action="store_true", help="ASCII plot too")
+    p.set_defaults(func=_cmd_figure1)
+
+    p = sub.add_parser("bounds", help="evaluate all bounds at (N, f, nu)")
+    add_nf(p)
+    p.add_argument("--nu", type=int, default=1)
+    p.set_defaults(func=_cmd_bounds)
+
+    p = sub.add_parser("crossover", help="replication/EC crossover")
+    add_nf(p)
+    p.set_defaults(func=_cmd_crossover)
+
+    p = sub.add_parser("classify", help="Section 7 regime classification")
+    add_nf(p)
+    p.add_argument("--nu", type=int, default=1)
+    p.add_argument("--g", type=float, required=True,
+                   help="normalized storage coefficient to classify")
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("verify", help="run an executable-proof experiment")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="swmr-abd")
+    p.add_argument("--theorem", choices=["b1", "41", "65"], default="b1")
+    add_nf(p, n=5, f=2)
+    p.add_argument("--nu", type=int, default=2, help="for --theorem 65")
+    p.add_argument("--value-bits", type=int, default=3)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("assumptions", help="audit Theorem 6.5 assumptions")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="cas")
+    add_nf(p, n=5, f=1)
+    p.add_argument("--value-bits", type=int, default=8)
+    p.set_defaults(func=_cmd_assumptions)
+
+    p = sub.add_parser("demo", help="tiny write/read/check workload")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="abd")
+    add_nf(p, n=5, f=1)
+    p.add_argument("--value-bits", type=int, default=8)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser(
+        "explore", help="exhaustively model-check write||read schedules"
+    )
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="swmr-abd")
+    add_nf(p, n=3, f=1)
+    p.add_argument("--value-bits", type=int, default=2)
+    p.add_argument("--max-states", type=int, default=100_000)
+    p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("communication", help="per-op message/bit costs")
+    p.add_argument(
+        "--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+        default=["abd", "cas"],
+    )
+    add_nf(p, n=5, f=1)
+    p.add_argument("--value-bits", type=int, default=12)
+    p.set_defaults(func=_cmd_communication)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

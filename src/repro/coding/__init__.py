@@ -1,0 +1,33 @@
+"""Erasure-coding substrate built from scratch.
+
+Provides binary-extension finite fields (:mod:`repro.coding.gf`), linear
+algebra over them (:mod:`repro.coding.matrix`), a Vandermonde
+Reed-Solomon MDS code (:mod:`repro.coding.reed_solomon`), trivial
+replication as a degenerate code (:mod:`repro.coding.replication`),
+Singleton-bound / MDS verification helpers (:mod:`repro.coding.mds`),
+and the multi-version coding extension of [24]
+(:mod:`repro.coding.multiversion`).
+"""
+
+from repro.coding.gf import GF2m, GF2mElement
+from repro.coding.matrix import GFMatrix
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.replication import ReplicationCode
+from repro.coding.mds import (
+    is_mds,
+    singleton_bound_bits,
+    storage_overhead,
+)
+from repro.coding.multiversion import MultiVersionCode
+
+__all__ = [
+    "GF2m",
+    "GF2mElement",
+    "GFMatrix",
+    "ReedSolomonCode",
+    "ReplicationCode",
+    "MultiVersionCode",
+    "is_mds",
+    "singleton_bound_bits",
+    "storage_overhead",
+]

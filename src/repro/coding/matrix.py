@@ -1,0 +1,203 @@
+"""Dense matrices and Gaussian elimination over GF(2^m).
+
+Reed-Solomon decoding reduces to solving a k x k Vandermonde system;
+this module supplies exactly that: construction, multiplication,
+inversion, and linear solving, all in the raw-integer representation
+for speed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.coding.gf import GF2m
+from repro.errors import CodingError, FieldError
+
+
+class GFMatrix:
+    """A dense matrix over a GF(2^m) field, stored as rows of ints."""
+
+    def __init__(self, field: GF2m, rows: Sequence[Sequence[int]]) -> None:
+        if not rows:
+            raise CodingError("matrix must have at least one row")
+        width = len(rows[0])
+        if width == 0:
+            raise CodingError("matrix must have at least one column")
+        for row in rows:
+            if len(row) != width:
+                raise CodingError("ragged matrix rows")
+            for v in row:
+                field.validate(v)
+        self.field = field
+        self.rows: List[List[int]] = [list(row) for row in rows]
+        self.nrows = len(rows)
+        self.ncols = width
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def identity(cls, field: GF2m, n: int) -> "GFMatrix":
+        """The n x n identity matrix."""
+        return cls(field, [[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def vandermonde(
+        cls, field: GF2m, evaluation_points: Sequence[int], k: int
+    ) -> "GFMatrix":
+        """Rows ``[x^0, x^1, ..., x^(k-1)]`` for each evaluation point x.
+
+        Used as the Reed-Solomon generator matrix; any k rows with
+        distinct evaluation points are invertible, which is exactly the
+        MDS property.
+        """
+        if len(set(evaluation_points)) != len(evaluation_points):
+            raise CodingError("evaluation points must be distinct")
+        rows = []
+        for x in evaluation_points:
+            field.validate(x)
+            row = [1]
+            for _ in range(k - 1):
+                row.append(field.mul(row[-1], x))
+            rows.append(row[:k])
+        return cls(field, rows)
+
+    # -- queries -------------------------------------------------------------
+
+    def row(self, i: int) -> List[int]:
+        """A copy of row ``i``."""
+        return list(self.rows[i])
+
+    def submatrix_rows(self, indices: Sequence[int]) -> "GFMatrix":
+        """New matrix from the given row indices, in order."""
+        return GFMatrix(self.field, [self.rows[i] for i in indices])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GFMatrix)
+            and other.field == self.field
+            and other.rows == self.rows
+        )
+
+    def __repr__(self) -> str:
+        return f"GFMatrix({self.field!r}, {self.nrows}x{self.ncols})"
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def mul_vector(self, vec: Sequence[int]) -> List[int]:
+        """Matrix-vector product over the field."""
+        if len(vec) != self.ncols:
+            raise CodingError(
+                f"vector length {len(vec)} != matrix width {self.ncols}"
+            )
+        f = self.field
+        out = []
+        for row in self.rows:
+            acc = 0
+            for a, b in zip(row, vec):
+                acc ^= f.mul(a, b)
+            out.append(acc)
+        return out
+
+    def matmul(self, other: "GFMatrix") -> "GFMatrix":
+        """Matrix-matrix product."""
+        if other.field != self.field:
+            raise FieldError("mixed-field matrix product")
+        if self.ncols != other.nrows:
+            raise CodingError("inner dimensions do not match")
+        f = self.field
+        cols = list(zip(*other.rows))
+        product = []
+        for row in self.rows:
+            out_row = []
+            for col in cols:
+                acc = 0
+                for a, b in zip(row, col):
+                    acc ^= f.mul(a, b)
+                out_row.append(acc)
+            product.append(out_row)
+        return GFMatrix(f, product)
+
+    def solve(self, rhs: Sequence[int]) -> List[int]:
+        """Solve ``A x = rhs`` for square invertible ``A``.
+
+        Raises :class:`CodingError` if the matrix is singular.
+        """
+        if self.nrows != self.ncols:
+            raise CodingError("solve requires a square matrix")
+        if len(rhs) != self.nrows:
+            raise CodingError("rhs length mismatch")
+        f = self.field
+        n = self.nrows
+        aug = [list(row) + [rhs[i]] for i, row in enumerate(self.rows)]
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if aug[r][col] != 0), None
+            )
+            if pivot_row is None:
+                raise CodingError("singular matrix")
+            aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+            inv_pivot = f.inv(aug[col][col])
+            aug[col] = [f.mul(v, inv_pivot) for v in aug[col]]
+            for r in range(n):
+                if r != col and aug[r][col] != 0:
+                    factor = aug[r][col]
+                    aug[r] = [
+                        v ^ f.mul(factor, pv)
+                        for v, pv in zip(aug[r], aug[col])
+                    ]
+        return [aug[i][n] for i in range(n)]
+
+    def inverse(self) -> "GFMatrix":
+        """Matrix inverse via Gauss-Jordan; raises if singular."""
+        if self.nrows != self.ncols:
+            raise CodingError("inverse requires a square matrix")
+        f = self.field
+        n = self.nrows
+        aug = [
+            list(row) + [1 if i == j else 0 for j in range(n)]
+            for i, row in enumerate(self.rows)
+        ]
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if aug[r][col] != 0), None
+            )
+            if pivot_row is None:
+                raise CodingError("singular matrix")
+            aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+            inv_pivot = f.inv(aug[col][col])
+            aug[col] = [f.mul(v, inv_pivot) for v in aug[col]]
+            for r in range(n):
+                if r != col and aug[r][col] != 0:
+                    factor = aug[r][col]
+                    aug[r] = [
+                        v ^ f.mul(factor, pv)
+                        for v, pv in zip(aug[r], aug[col])
+                    ]
+        return GFMatrix(f, [row[n:] for row in aug])
+
+    def rank(self) -> int:
+        """Rank via row reduction (used by the MDS checker)."""
+        f = self.field
+        rows = [list(r) for r in self.rows]
+        rank = 0
+        for col in range(self.ncols):
+            pivot_row = next(
+                (r for r in range(rank, self.nrows) if rows[r][col] != 0),
+                None,
+            )
+            if pivot_row is None:
+                continue
+            rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+            inv_pivot = f.inv(rows[rank][col])
+            rows[rank] = [f.mul(v, inv_pivot) for v in rows[rank]]
+            for r in range(self.nrows):
+                if r != rank and rows[r][col] != 0:
+                    factor = rows[r][col]
+                    rows[r] = [
+                        v ^ f.mul(factor, pv)
+                        for v, pv in zip(rows[r], rows[rank])
+                    ]
+            rank += 1
+            if rank == self.nrows:
+                break
+        return rank

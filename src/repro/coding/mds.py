@@ -1,0 +1,76 @@
+"""MDS-property verification and Singleton-bound helpers.
+
+The classical Singleton bound (Section 2.1 of the paper) says a storage
+system over ``N`` servers tolerating ``f`` erasures needs total storage
+``>= N/(N-f) * log2 |V|`` bits, and Reed-Solomon achieves it.  These
+helpers verify both facts for our concrete codes and provide the
+"classical coding theory" comparison numbers used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional
+
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.errors import BoundError
+from repro.util.intmath import exact_log2
+
+
+def is_mds(
+    code: ReedSolomonCode, subsets: Optional[Iterable[tuple]] = None
+) -> bool:
+    """Check the MDS property: every ``k``-subset of rows is invertible.
+
+    By default checks *all* ``C(n, k)`` subsets; pass ``subsets`` to spot
+    check a sample for large parameters.
+    """
+    gen = code.generator_matrix()
+    if subsets is None:
+        subsets = combinations(range(code.n), code.k)
+    for subset in subsets:
+        if gen.submatrix_rows(list(subset)).rank() != code.k:
+            return False
+    return True
+
+
+def singleton_bound_bits(n: int, f: int, value_bits: int) -> float:
+    """Minimum total storage (bits) to tolerate ``f`` of ``n`` erasures.
+
+    The classical bound ``n * value_bits / (n - f)``.
+    """
+    if not 0 <= f < n:
+        raise BoundError(f"need 0 <= f < n, got n={n}, f={f}")
+    return n * value_bits / (n - f)
+
+
+def storage_overhead(code) -> float:
+    """Total stored bits divided by value bits: ``n * symbol_bits / value_bits``.
+
+    Equals ``n/k`` for an MDS code and ``n`` for replication.
+    """
+    return code.n * code.symbol_bits / code.value_bits
+
+
+def erasure_tolerance(code) -> int:
+    """Number of erasures an MDS ``(n, k)`` code tolerates: ``n - k``."""
+    return code.n - code.k
+
+
+def achieves_singleton(code, f: Optional[int] = None) -> bool:
+    """True iff the code meets the Singleton bound with equality.
+
+    For an ``(n, k)`` MDS code tolerating ``f = n - k`` erasures, total
+    storage is ``n * symbol_bits = n/(n-f) * value_bits`` — exactly the
+    bound.
+    """
+    if f is None:
+        f = erasure_tolerance(code)
+    total_bits = code.n * code.symbol_bits
+    bound = singleton_bound_bits(code.n, f, code.value_bits)
+    return abs(total_bits - bound) < 1e-9
+
+
+def normalized_storage(code) -> float:
+    """Total storage normalized by ``log2 |V|`` (the paper's y-axis unit)."""
+    return code.n * code.symbol_bits / exact_log2(code.value_space_size)

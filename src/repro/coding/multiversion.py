@@ -1,0 +1,145 @@
+"""Multi-version coding (extension; reference [24] of the paper).
+
+The paper's Section 2.4 and concluding remarks connect its bounds to
+the *multi-version coding* formulation of Wang & Cadambe: ``nu``
+versions of a value arrive asynchronously at ``N`` servers, each server
+stores a function of the versions it has seen, and a decoder reading
+any ``N - f`` servers must recover the latest *complete* version (one
+that reached every server) or a later one.
+
+This module implements the problem statement plus two concrete schemes:
+
+* :class:`MultiVersionCode` with ``per_version_k = N - f`` — "separate
+  MDS coding" of each version, per-server cost ``nu/(N-f)`` values;
+* the replication scheme (``per_version_k = 1``) — per-server cost of
+  one full value, since a server can discard all but its latest version.
+
+It also exposes the Wang-Cadambe per-server lower bound
+``nu / (N - f + nu - 1) * log2 |V|`` (for comparison curves), which is
+the same ``nu``-dependence Theorem 6.5 exhibits for emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Set
+
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.replication import ReplicationCode
+from repro.errors import BoundError, CodingError, DecodingError
+
+
+def mvc_per_server_lower_bound(nu: int, n: int, f: int) -> float:
+    """Wang-Cadambe per-server storage lower bound, normalized by log2|V|.
+
+    ``nu / (n - f + nu - 1)`` for ``nu`` versions, ``n`` servers, ``f``
+    failures.
+    """
+    if nu < 1:
+        raise BoundError(f"need nu >= 1, got {nu}")
+    if not 0 <= f < n:
+        raise BoundError(f"need 0 <= f < n, got n={n}, f={f}")
+    return nu / (n - f + nu - 1)
+
+
+def mvc_replication_per_server_cost() -> float:
+    """Replication per-server cost, normalized: each server keeps its
+    latest version in full, so exactly 1 value per server."""
+    return 1.0
+
+
+def mvc_separate_coding_per_server_cost(nu: int, n: int, f: int) -> float:
+    """Separate MDS coding per-server cost, normalized: ``nu / (n - f)``.
+
+    Each of the ``nu`` versions is coded with ``k = n - f``; a server
+    cannot discard old symbols because it does not know which versions
+    are complete.
+    """
+    if not 0 <= f < n:
+        raise BoundError(f"need 0 <= f < n, got n={n}, f={f}")
+    return nu / (n - f)
+
+
+@dataclass(frozen=True)
+class MVCDecodeResult:
+    """Outcome of a multi-version decode attempt."""
+
+    version: int
+    value: int
+
+
+class MultiVersionCode:
+    """Separate per-version MDS storage for the multi-version problem.
+
+    Each version ``t`` of the value is encoded with an ``(n, k)``
+    Reed-Solomon code; server ``i`` stores symbol ``i`` of every version
+    it has received.  ``decode_latest`` recovers the newest version that
+    at least ``k`` of the contacted servers hold — which is guaranteed
+    to be at least the latest complete version whenever ``k <= n - f``.
+    """
+
+    def __init__(self, n: int, f: int, value_bits: int, k: Optional[int] = None):
+        if not 0 <= f < n:
+            raise CodingError(f"need 0 <= f < n, got n={n}, f={f}")
+        self.n = n
+        self.f = f
+        self.k = k if k is not None else n - f
+        if not 1 <= self.k <= n - f:
+            raise CodingError(
+                f"need 1 <= k <= n - f for completeness guarantee, got k={self.k}"
+            )
+        self.value_bits = value_bits
+        if self.k == 1:
+            self._code = ReplicationCode(n, value_bits)
+        else:
+            # field symbol size: ceil(value_bits / k) bits per symbol
+            m = -(-value_bits // self.k)
+            while (1 << m) < n:
+                m += 1
+            self._code = ReedSolomonCode(n, self.k, m)
+
+    @property
+    def per_server_bits_per_version(self) -> int:
+        """Bits a server stores for each version it has received."""
+        return self._code.symbol_bits
+
+    def server_symbol(self, version_value: int, server: int) -> int:
+        """The symbol server ``server`` stores for a version's value."""
+        return self._code.encode_symbol(version_value, server)
+
+    def server_state(
+        self, received: Mapping[int, int], server: int
+    ) -> Dict[int, int]:
+        """State of ``server`` given ``{version: value}`` it has received."""
+        return {t: self.server_symbol(v, server) for t, v in received.items()}
+
+    def decode_latest(
+        self, states: Mapping[int, Mapping[int, int]]
+    ) -> MVCDecodeResult:
+        """Decode the newest version recoverable from contacted servers.
+
+        ``states`` maps server index -> that server's ``{version: symbol}``
+        state.  Raises :class:`DecodingError` if no version reaches ``k``
+        symbols (cannot happen when a complete version exists and
+        ``len(states) >= n - f``).
+        """
+        by_version: Dict[int, Dict[int, int]] = {}
+        for server, versions in states.items():
+            for t, symbol in versions.items():
+                by_version.setdefault(t, {})[server] = symbol
+        for t in sorted(by_version, reverse=True):
+            symbols = by_version[t]
+            if len(symbols) >= self.k:
+                return MVCDecodeResult(version=t, value=self._code.decode(symbols))
+        raise DecodingError("no version has enough symbols to decode")
+
+    def latest_complete_version(
+        self, received_per_server: Sequence[Set[int]]
+    ) -> Optional[int]:
+        """The newest version present at *every* server, or None."""
+        if not received_per_server:
+            return None
+        common = set(received_per_server[0])
+        for seen in received_per_server[1:]:
+            common &= seen
+        return max(common) if common else None

@@ -1,0 +1,152 @@
+"""Vandermonde Reed-Solomon MDS codes over GF(2^m).
+
+An ``(n, k)`` Reed-Solomon code maps a value of ``k * m`` bits (viewed
+as ``k`` field symbols, the coefficients of a degree-``< k`` polynomial)
+to ``n`` codeword symbols of ``m`` bits each (the polynomial evaluated
+at ``n`` distinct field points).  Any ``k`` codeword symbols determine
+the polynomial and hence the value: the MDS property, which is what the
+storage-cost arguments in the paper rely on ("a reader that obtains a
+sufficient number of codeword symbols recovers the value").
+
+Values are plain Python integers in ``[0, 2**(k*m))`` so the rest of
+the library can treat the value domain ``V`` abstractly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.coding.gf import GF2m
+from repro.coding.matrix import GFMatrix
+from repro.errors import CodingError, DecodingError, EncodingError
+
+
+class ReedSolomonCode:
+    """An ``(n, k)`` Reed-Solomon code over GF(2^m).
+
+    Parameters
+    ----------
+    n:
+        Number of codeword symbols (servers).
+    k:
+        Number of data symbols; any ``k`` codeword symbols decode.
+    m:
+        Field exponent.  Defaults to the smallest field that fits
+        ``n`` evaluation points (``n <= 2^m``).
+    """
+
+    def __init__(self, n: int, k: int, m: Optional[int] = None) -> None:
+        if k < 1 or n < k:
+            raise CodingError(f"need 1 <= k <= n, got n={n}, k={k}")
+        if m is None:
+            m = max(1, (n - 1).bit_length())
+            while (1 << m) < n:
+                m += 1
+        if (1 << m) < n:
+            raise CodingError(
+                f"GF(2^{m}) has only {1 << m} points, cannot place n={n}"
+            )
+        self.n = n
+        self.k = k
+        self.field = GF2m.get(m)
+        self.symbol_bits = m
+        self.value_bits = k * m
+        # Evaluation points 1..n would also work; use 0..n-1 so the code
+        # is systematic-free but deterministic.  Point values must be
+        # distinct field elements.
+        self._points = list(range(n))
+        self._generator = GFMatrix.vandermonde(self.field, self._points, k)
+
+    @property
+    def value_space_size(self) -> int:
+        """``|V|`` — the number of encodable values."""
+        return 1 << self.value_bits
+
+    # -- value <-> symbol conversion ---------------------------------------
+
+    def _split(self, value: int) -> List[int]:
+        if not 0 <= value < self.value_space_size:
+            raise EncodingError(
+                f"value {value} out of range for {self.value_bits}-bit code"
+            )
+        mask = (1 << self.symbol_bits) - 1
+        return [
+            (value >> (i * self.symbol_bits)) & mask for i in range(self.k)
+        ]
+
+    def _join(self, symbols: Sequence[int]) -> int:
+        value = 0
+        for i, s in enumerate(symbols):
+            value |= s << (i * self.symbol_bits)
+        return value
+
+    # -- encode / decode -----------------------------------------------------
+
+    def encode(self, value: int) -> List[int]:
+        """Encode ``value`` into ``n`` codeword symbols."""
+        return self._generator.mul_vector(self._split(value))
+
+    def encode_symbol(self, value: int, index: int) -> int:
+        """Encode only the symbol for server ``index`` (cheaper per call)."""
+        if not 0 <= index < self.n:
+            raise CodingError(f"symbol index {index} out of range")
+        f = self.field
+        data = self._split(value)
+        row = self._generator.row(index)
+        acc = 0
+        for a, b in zip(row, data):
+            acc ^= f.mul(a, b)
+        return acc
+
+    def decode(self, symbols: Dict[int, int]) -> int:
+        """Decode a value from ``{symbol_index: symbol}``.
+
+        Requires at least ``k`` entries; uses the first ``k`` by index.
+        Raises :class:`DecodingError` if fewer than ``k`` are given or an
+        index is out of range.
+        """
+        if len(symbols) < self.k:
+            raise DecodingError(
+                f"need {self.k} symbols to decode, got {len(symbols)}"
+            )
+        indices = sorted(symbols)[: self.k]
+        for i in indices:
+            if not 0 <= i < self.n:
+                raise DecodingError(f"symbol index {i} out of range")
+        system = self._generator.submatrix_rows(indices)
+        rhs = [symbols[i] for i in indices]
+        data = system.solve(rhs)
+        return self._join(data)
+
+    def check_consistent(self, symbols: Dict[int, int]) -> bool:
+        """True iff all given symbols agree with a single codeword.
+
+        Decodes from the first ``k`` symbols and re-encodes to verify the
+        rest; with fewer than ``k`` symbols any assignment is consistent.
+        """
+        if len(symbols) < self.k:
+            return True
+        try:
+            value = self.decode(symbols)
+        except DecodingError:
+            return False
+        codeword = self.encode(value)
+        return all(codeword[i] == s for i, s in symbols.items())
+
+    def generator_matrix(self) -> GFMatrix:
+        """The ``n x k`` generator matrix (copy-safe shared instance)."""
+        return self._generator
+
+    def __repr__(self) -> str:
+        return f"ReedSolomonCode(n={self.n}, k={self.k}, m={self.field.m})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ReedSolomonCode)
+            and other.n == self.n
+            and other.k == self.k
+            and other.field == self.field
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.k, self.field))

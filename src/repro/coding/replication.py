@@ -1,0 +1,67 @@
+"""Replication viewed as the degenerate ``(n, 1)`` erasure code.
+
+Lets the register algorithms treat "replication" (ABD-style storage)
+and Reed-Solomon uniformly through the same encode/decode interface,
+which is exactly the comparison the paper draws in Section 2.1: with
+replication every server stores ``log2 |V|`` bits, so total storage is
+at least ``(f+1) log2 |V|``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CodingError, DecodingError, EncodingError
+
+
+class ReplicationCode:
+    """The ``(n, 1)`` repetition code over a ``value_bits``-bit value space."""
+
+    def __init__(self, n: int, value_bits: int) -> None:
+        if n < 1:
+            raise CodingError(f"need n >= 1, got {n}")
+        if value_bits < 1:
+            raise CodingError(f"need value_bits >= 1, got {value_bits}")
+        self.n = n
+        self.k = 1
+        self.symbol_bits = value_bits
+        self.value_bits = value_bits
+
+    @property
+    def value_space_size(self) -> int:
+        """``|V|``."""
+        return 1 << self.value_bits
+
+    def encode(self, value: int) -> List[int]:
+        """Every server stores the full value."""
+        if not 0 <= value < self.value_space_size:
+            raise EncodingError(
+                f"value {value} out of range for {self.value_bits}-bit code"
+            )
+        return [value] * self.n
+
+    def encode_symbol(self, value: int, index: int) -> int:
+        """Symbol for one server: the value itself."""
+        if not 0 <= index < self.n:
+            raise CodingError(f"symbol index {index} out of range")
+        if not 0 <= value < self.value_space_size:
+            raise EncodingError(
+                f"value {value} out of range for {self.value_bits}-bit code"
+            )
+        return value
+
+    def decode(self, symbols: Dict[int, int]) -> int:
+        """Any single replica decodes; conflicting replicas are an error."""
+        if not symbols:
+            raise DecodingError("need at least one replica to decode")
+        values = set(symbols.values())
+        if len(values) != 1:
+            raise DecodingError(f"conflicting replicas: {sorted(values)}")
+        return values.pop()
+
+    def check_consistent(self, symbols: Dict[int, int]) -> bool:
+        """True iff all replicas agree."""
+        return len(set(symbols.values())) <= 1
+
+    def __repr__(self) -> str:
+        return f"ReplicationCode(n={self.n}, value_bits={self.value_bits})"

@@ -1,0 +1,40 @@
+"""Consistency checkers for register operation histories.
+
+* :mod:`repro.consistency.atomicity` — linearizability (atomicity) of
+  read/write register histories, by memoized backtracking search for a
+  valid linearization;
+* :mod:`repro.consistency.regularity` — Lamport regularity for
+  single-writer histories and the weak regularity of Shao et al. [22]
+  for multi-writer histories (the condition Theorem 6.5 assumes).
+
+Checkers accept :class:`repro.sim.events.OperationRecord` lists
+(exactly what a World accumulates) and return verdict objects rather
+than raising; ``require_*`` wrappers raise
+:class:`repro.errors.ConsistencyViolation` for test ergonomics.
+"""
+
+from repro.consistency.history import History
+from repro.consistency.atomicity import (
+    AtomicityVerdict,
+    check_atomicity,
+    require_atomic,
+)
+from repro.consistency.regularity import (
+    RegularityVerdict,
+    check_regular,
+    check_weakly_regular,
+    require_regular,
+    require_weakly_regular,
+)
+
+__all__ = [
+    "History",
+    "AtomicityVerdict",
+    "check_atomicity",
+    "require_atomic",
+    "RegularityVerdict",
+    "check_regular",
+    "check_weakly_regular",
+    "require_regular",
+    "require_weakly_regular",
+]

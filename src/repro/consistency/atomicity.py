@@ -1,0 +1,151 @@
+"""Linearizability (atomicity) checking for register histories.
+
+A history is atomic iff there is a *linearization*: a total order of
+operations that (a) respects real-time precedence (if a responded
+before b was invoked, a comes first), and (b) is legal for a read/write
+register (every read returns the most recently linearized write's
+value, or the initial value).
+
+The checker is a memoized depth-first search in the spirit of Wing &
+Gong.  State is (set of linearized ops, current register value); the
+memo makes repeated sub-configurations cheap.  Incomplete operations
+are handled per the standard rules: an incomplete write may be
+linearized (it may have taken effect) or dropped; incomplete reads are
+always dropped (they returned nothing to explain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.consistency.history import History
+from repro.errors import ConsistencyViolation
+from repro.sim.events import OperationRecord
+
+
+@dataclass
+class AtomicityVerdict:
+    """Outcome of an atomicity check."""
+
+    ok: bool
+    linearization: Optional[List[int]] = None  # op ids in linearized order
+    reason: str = ""
+    states_explored: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _precedence_closure(
+    ops: Sequence[OperationRecord],
+) -> Dict[int, FrozenSet[int]]:
+    """For each op, the set of op ids that must be linearized before it."""
+    preds: Dict[int, FrozenSet[int]] = {}
+    for b in ops:
+        before = frozenset(
+            a.op_id
+            for a in ops
+            if a.op_id != b.op_id and a.precedes(b)
+        )
+        preds[b.op_id] = before
+    return preds
+
+
+def check_atomicity(
+    operations: Iterable[OperationRecord],
+    initial_value: int = 0,
+    max_states: int = 2_000_000,
+) -> AtomicityVerdict:
+    """Check that a register history is linearizable.
+
+    ``max_states`` bounds the memoized search (a safety valve for
+    adversarial inputs); exceeding it returns a failed verdict with an
+    explanatory reason rather than looping forever.
+    """
+    history = operations if isinstance(operations, History) else History(operations)
+    ops = list(history.operations)
+    # Incomplete reads cannot constrain anything: drop them.
+    ops = [
+        op for op in ops if op.is_complete or op.kind == "write"
+    ]
+    must_linearize = frozenset(op.op_id for op in ops if op.is_complete)
+    preds = _precedence_closure(ops)
+
+    memo: set = set()
+    explored = 0
+    order: List[int] = []
+
+    def candidates(done: FrozenSet[int]) -> List[OperationRecord]:
+        ready = []
+        for op in ops:
+            if op.op_id in done:
+                continue
+            if preds[op.op_id] <= done:
+                ready.append(op)
+        return ready
+
+    def search(done: FrozenSet[int], value: int) -> bool:
+        nonlocal explored
+        if must_linearize <= done:
+            return True
+        key = (done, value)
+        if key in memo:
+            return False
+        explored += 1
+        if explored > max_states:
+            raise _SearchBudgetExceeded()
+        for op in candidates(done):
+            if op.kind == "read":
+                if op.value != value:
+                    continue
+                order.append(op.op_id)
+                if search(done | {op.op_id}, value):
+                    return True
+                order.pop()
+            else:
+                order.append(op.op_id)
+                if search(done | {op.op_id}, op.value):
+                    return True
+                order.pop()
+                # An incomplete write may also be dropped entirely; model
+                # that by allowing the search to skip it permanently only
+                # when it is not required.  Skipping is equivalent to
+                # linearizing it "never": mark done without changing value.
+                if op.op_id not in must_linearize:
+                    if search(done | {op.op_id}, value):
+                        return True
+        memo.add(key)
+        return False
+
+    try:
+        ok = search(frozenset(), initial_value)
+    except _SearchBudgetExceeded:
+        return AtomicityVerdict(
+            ok=False,
+            reason=f"search budget of {max_states} states exceeded",
+            states_explored=explored,
+        )
+    if ok:
+        return AtomicityVerdict(
+            ok=True, linearization=list(order), states_explored=explored
+        )
+    return AtomicityVerdict(
+        ok=False,
+        reason="no legal linearization exists",
+        states_explored=explored,
+    )
+
+
+class _SearchBudgetExceeded(Exception):
+    """Internal signal: the memoized search hit ``max_states``."""
+
+
+def require_atomic(
+    operations: Iterable[OperationRecord], initial_value: int = 0
+) -> AtomicityVerdict:
+    """Raise :class:`ConsistencyViolation` unless the history is atomic."""
+    verdict = check_atomicity(operations, initial_value)
+    if not verdict.ok:
+        raise ConsistencyViolation(f"history is not atomic: {verdict.reason}")
+    return verdict

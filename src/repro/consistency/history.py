@@ -1,0 +1,100 @@
+"""Operation histories: validation and convenience queries.
+
+A :class:`History` wraps a list of
+:class:`repro.sim.events.OperationRecord` and checks well-formedness:
+per-client operations are sequential (the model requires every new
+invocation at a client to wait for the preceding response), steps are
+sane, and completed reads carry a value.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List
+
+from repro.errors import MalformedHistoryError
+from repro.sim.events import OperationRecord
+from repro.sim.network import World
+
+
+class History:
+    """A validated operation history."""
+
+    def __init__(self, operations: Iterable[OperationRecord]) -> None:
+        self.operations: List[OperationRecord] = list(operations)
+        self._validate()
+
+    @classmethod
+    def from_world(cls, world: World) -> "History":
+        """Capture the history a World has accumulated so far."""
+        return cls(world.operations)
+
+    def _validate(self) -> None:
+        by_client: Dict[str, List[OperationRecord]] = defaultdict(list)
+        seen_ids = set()
+        for op in self.operations:
+            if op.op_id in seen_ids:
+                raise MalformedHistoryError(f"duplicate op id {op.op_id}")
+            seen_ids.add(op.op_id)
+            if op.kind not in ("read", "write"):
+                raise MalformedHistoryError(f"unknown kind {op.kind!r}")
+            if op.is_complete and op.response_step < op.invoke_step:
+                raise MalformedHistoryError(
+                    f"op {op.op_id} responds before invocation"
+                )
+            if op.kind == "write" and op.value is None:
+                raise MalformedHistoryError(f"write {op.op_id} has no value")
+            by_client[op.client].append(op)
+        for client, ops in by_client.items():
+            ops_sorted = sorted(ops, key=lambda o: o.invoke_step)
+            for earlier, later in zip(ops_sorted, ops_sorted[1:]):
+                if not earlier.is_complete:
+                    raise MalformedHistoryError(
+                        f"client {client} invoked op {later.op_id} while "
+                        f"op {earlier.op_id} was pending"
+                    )
+                if earlier.response_step >= later.invoke_step:
+                    # Responses and invocations are distinct actions, so
+                    # a client's next invocation is strictly after the
+                    # previous response (the simulator guarantees this).
+                    raise MalformedHistoryError(
+                        f"client {client} ops {earlier.op_id}/{later.op_id} overlap"
+                    )
+
+    # -- queries ---------------------------------------------------------
+
+    def writes(self) -> List[OperationRecord]:
+        """All writes, by invocation order."""
+        return sorted(
+            (op for op in self.operations if op.kind == "write"),
+            key=lambda o: o.invoke_step,
+        )
+
+    def reads(self) -> List[OperationRecord]:
+        """All reads, by invocation order."""
+        return sorted(
+            (op for op in self.operations if op.kind == "read"),
+            key=lambda o: o.invoke_step,
+        )
+
+    def completed(self) -> List[OperationRecord]:
+        """Operations that responded."""
+        return [op for op in self.operations if op.is_complete]
+
+    def incomplete(self) -> List[OperationRecord]:
+        """Operations still pending (or whose client failed)."""
+        return [op for op in self.operations if not op.is_complete]
+
+    def writer_count(self) -> int:
+        """Number of distinct clients that wrote."""
+        return len({op.client for op in self.operations if op.kind == "write"})
+
+    def is_single_writer(self) -> bool:
+        """True iff at most one client wrote."""
+        return self.writer_count() <= 1
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)

@@ -1,0 +1,145 @@
+"""Regularity and weak-regularity checking.
+
+*Regularity* (Lamport [17], single writer): every completed read
+returns either the value of the last write that completed before the
+read was invoked, or the value of a write concurrent with the read
+(or the initial value when neither exists).
+
+*Weak regularity* (Shao et al. [22], multi-writer — the condition
+assumed by Theorem 6.5): for every terminating read there is a subset
+of the non-terminating writes such that the read plus that subset plus
+all terminating writes looks like a serial register execution.  Each
+read is serialized independently, so the check decomposes per read:
+
+  a read returning value ``v`` is admissible iff either
+
+  * ``v`` is the initial value and no terminating write completed
+    before the read's invocation, or
+  * some write ``w`` wrote ``v``, ``w`` was invoked before the read
+    responded, and ``w`` does not real-time-precede any terminating
+    write that itself completed before the read's invocation (so ``w``
+    can be serialized as the read's immediate predecessor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.consistency.history import History
+from repro.errors import ConsistencyViolation, MalformedHistoryError
+from repro.sim.events import OperationRecord
+
+
+@dataclass
+class RegularityVerdict:
+    """Outcome of a (weak-)regularity check."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _admissible_values_regular(
+    read: OperationRecord,
+    writes: List[OperationRecord],
+    initial_value: int,
+) -> List[int]:
+    """Values a *regular* single-writer read may return."""
+    preceding = [
+        w for w in writes if w.is_complete and w.response_step < read.invoke_step
+    ]
+    concurrent = [w for w in writes if w.overlaps(read)]
+    admissible = [w.value for w in concurrent]
+    if preceding:
+        last = max(preceding, key=lambda w: w.response_step)
+        admissible.append(last.value)
+    else:
+        admissible.append(initial_value)
+    return admissible
+
+
+def check_regular(
+    operations: Iterable[OperationRecord],
+    initial_value: int = 0,
+) -> RegularityVerdict:
+    """Check Lamport regularity of a single-writer history."""
+    history = operations if isinstance(operations, History) else History(operations)
+    if not history.is_single_writer():
+        raise MalformedHistoryError(
+            "check_regular requires a single-writer history; "
+            "use check_weakly_regular for multi-writer"
+        )
+    writes = history.writes()
+    violations = []
+    for read in history.reads():
+        if not read.is_complete:
+            continue
+        admissible = _admissible_values_regular(read, writes, initial_value)
+        if read.value not in admissible:
+            violations.append(
+                f"read op {read.op_id} returned {read.value}; "
+                f"admissible values were {sorted(set(admissible))}"
+            )
+    return RegularityVerdict(ok=not violations, violations=violations)
+
+
+def check_weakly_regular(
+    operations: Iterable[OperationRecord],
+    initial_value: int = 0,
+) -> RegularityVerdict:
+    """Check weak regularity of a (possibly multi-writer) history."""
+    history = operations if isinstance(operations, History) else History(operations)
+    writes = history.writes()
+    terminating = [w for w in writes if w.is_complete]
+    violations = []
+    for read in history.reads():
+        if not read.is_complete:
+            continue
+        # Terminating writes that really precede this read.
+        preceding = [
+            w for w in terminating if w.response_step < read.invoke_step
+        ]
+        if read.value == initial_value and not preceding:
+            continue
+        ok = False
+        for w in writes:
+            if w.value != read.value:
+                continue
+            if w.invoke_step > read.response_step:
+                continue  # w follows the read; cannot explain it
+            # w must be serializable after every terminating write that
+            # precedes the read; impossible only if w real-time-precedes
+            # one of them.
+            if any(w.precedes(w2) for w2 in preceding):
+                continue
+            ok = True
+            break
+        if not ok:
+            violations.append(
+                f"read op {read.op_id} returned {read.value}, which no "
+                "admissible write explains"
+            )
+    return RegularityVerdict(ok=not violations, violations=violations)
+
+
+def require_regular(
+    operations: Iterable[OperationRecord], initial_value: int = 0
+) -> RegularityVerdict:
+    """Raise :class:`ConsistencyViolation` unless the history is regular."""
+    verdict = check_regular(operations, initial_value)
+    if not verdict.ok:
+        raise ConsistencyViolation("; ".join(verdict.violations))
+    return verdict
+
+
+def require_weakly_regular(
+    operations: Iterable[OperationRecord], initial_value: int = 0
+) -> RegularityVerdict:
+    """Raise unless the history is weakly regular."""
+    verdict = check_weakly_regular(operations, initial_value)
+    if not verdict.ok:
+        raise ConsistencyViolation("; ".join(verdict.violations))
+    return verdict

@@ -1,0 +1,73 @@
+"""The paper's primary contribution: the storage-cost bounds.
+
+:mod:`repro.core.bounds` implements every lower bound (Theorems B.1,
+4.1, 5.1, 6.5 and their corollaries) in both exact finite-``|V|`` form
+and the normalized ``|V| -> infinity`` coefficient form, plus the prior
+upper bounds used for comparison.  :mod:`repro.core.comparison` and
+:mod:`repro.core.regimes` provide the Section 2 / Section 7 analyses;
+:mod:`repro.core.certificates` defines the machine-checkable outputs of
+the executable-proof drivers.
+"""
+
+from repro.core.bounds import (
+    BoundValues,
+    abd_upper_total_normalized,
+    erasure_coding_upper_total_normalized,
+    evaluate_bounds,
+    nu_star,
+    singleton_total_bits,
+    singleton_total_normalized,
+    theorem41_max_bits,
+    theorem41_subset_rhs_bits,
+    theorem41_total_bits,
+    theorem41_total_normalized,
+    theorem51_max_bits,
+    theorem51_subset_rhs_bits,
+    theorem51_total_bits,
+    theorem51_total_normalized,
+    theorem65_max_bits,
+    theorem65_subset_rhs_bits,
+    theorem65_total_bits,
+    theorem65_total_normalized,
+)
+from repro.core.comparison import (
+    crossover_active_writes,
+    dominating_bound,
+    improvement_over_singleton,
+)
+from repro.core.regimes import RegimeClassification, classify_storage_coefficient
+from repro.core.certificates import (
+    InjectivityCertificate,
+    TheoremB1Certificate,
+    Theorem41Certificate,
+)
+
+__all__ = [
+    "BoundValues",
+    "evaluate_bounds",
+    "nu_star",
+    "singleton_total_bits",
+    "singleton_total_normalized",
+    "theorem41_subset_rhs_bits",
+    "theorem41_max_bits",
+    "theorem41_total_bits",
+    "theorem41_total_normalized",
+    "theorem51_subset_rhs_bits",
+    "theorem51_max_bits",
+    "theorem51_total_bits",
+    "theorem51_total_normalized",
+    "theorem65_subset_rhs_bits",
+    "theorem65_max_bits",
+    "theorem65_total_bits",
+    "theorem65_total_normalized",
+    "abd_upper_total_normalized",
+    "erasure_coding_upper_total_normalized",
+    "crossover_active_writes",
+    "dominating_bound",
+    "improvement_over_singleton",
+    "RegimeClassification",
+    "classify_storage_coefficient",
+    "InjectivityCertificate",
+    "TheoremB1Certificate",
+    "Theorem41Certificate",
+]

@@ -1,0 +1,287 @@
+"""Every storage-cost bound in the paper, exact and normalized.
+
+Conventions
+-----------
+* ``n`` — number of servers (the paper's ``N``), ``f`` — failure
+  budget, ``v_size`` — ``|V|`` (size of the value domain), ``nu`` —
+  bound on the number of active write operations.
+* ``*_bits`` functions return the bound in **bits** for a finite
+  ``|V|`` (these are the exact theorem statements, including the
+  negative correction terms the asymptotic forms absorb into
+  ``o(log |V|)``).
+* ``*_normalized`` functions return the dimensionless coefficient of
+  ``log2 |V|`` in the ``|V| -> infinity`` limit — the unit of
+  Figure 1's y-axis.
+* ``*_subset_rhs_bits`` functions return the right-hand side of the
+  per-subset inequalities exactly as stated in Theorems 4.1 / 5.1 /
+  6.5 (useful for checking the executable proofs' observed state
+  counts against the theorem's own form).
+
+Statement index
+---------------
+==============  =====================================================
+Theorem B.1     ``sum_{n in N} log2|S_n| >= log2|V|`` over any
+                ``N - f`` servers; Corollary B.2 total
+                ``>= N/(N-f) * log2|V|``.
+Theorem 4.1     (no gossip, ``f >= 2``) per-subset:
+                ``sum + max >= log2|V| + log2(|V|-1) - log2(N-f)``;
+                Corollary 4.2 total ``>= N * rhs / (N-f+1)``.
+Theorem 5.1     (universal) per-subset:
+                ``sum + 2*max >= log2|V| + log2(|V|-1) - 2 log2(N-f)``;
+                Corollary 5.2 total ``>= N * rhs / (N-f+2)``.
+Theorem 6.5     (one value-dependent phase; ``nu`` active writes;
+                ``nu* = min(nu, f+1)``) over any
+                ``N - f + nu* - 1`` servers:
+                ``sum >= log2 C(|V|-1, nu*) - nu* log2(N-f+nu*-1)
+                - log2(nu*!)``; Corollary 6.6 total
+                ``>= nu*N/(N-f+nu*-1) * log2|V| - o(log2|V|)``.
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import BoundError
+from repro.util.intmath import exact_log2, log2_binomial, log2_factorial
+
+
+def _validate(n: int, f: int, v_size: int, min_f: int = 0) -> None:
+    if n < 1:
+        raise BoundError(f"need n >= 1, got {n}")
+    if f < min_f or f >= n:
+        raise BoundError(f"need {min_f} <= f < n, got n={n}, f={f}")
+    if v_size < 2:
+        raise BoundError(f"need |V| >= 2, got {v_size}")
+
+
+def nu_star(nu: int, f: int) -> int:
+    """``nu* = min(nu, f + 1)`` — Theorem 6.5's effective concurrency."""
+    if nu < 1:
+        raise BoundError(f"need nu >= 1, got {nu}")
+    return min(nu, f + 1)
+
+
+# ---------------------------------------------------------------------------
+# Theorem B.1 / Corollary B.2  (Singleton-style warm-up bound)
+# ---------------------------------------------------------------------------
+
+def singleton_subset_rhs_bits(n: int, f: int, v_size: int) -> float:
+    """Theorem B.1 RHS over any ``n - f`` servers: ``log2 |V|``."""
+    _validate(n, f, v_size, min_f=1)
+    return exact_log2(v_size)
+
+
+def singleton_total_bits(n: int, f: int, v_size: int) -> float:
+    """Corollary B.2: ``TotalStorage >= N/(N-f) * log2|V|`` bits."""
+    _validate(n, f, v_size, min_f=1)
+    return n * exact_log2(v_size) / (n - f)
+
+
+def singleton_max_bits(n: int, f: int, v_size: int) -> float:
+    """Corollary B.2: ``MaxStorage >= log2|V| / (N-f)`` bits."""
+    _validate(n, f, v_size, min_f=1)
+    return exact_log2(v_size) / (n - f)
+
+
+def singleton_total_normalized(n: int, f: int) -> float:
+    """Corollary B.2 coefficient: ``N/(N-f)``."""
+    _validate(n, f, 2, min_f=1)
+    return n / (n - f)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.1 / Corollary 4.2  (no server gossip)
+# ---------------------------------------------------------------------------
+
+def theorem41_subset_rhs_bits(n: int, f: int, v_size: int) -> float:
+    """Theorem 4.1 RHS: ``log2|V| + log2(|V|-1) - log2(N-f)``.
+
+    Lower-bounds ``sum_{i in N} log2|S_i| + max_{i in N} log2|S_i|``
+    for every subset ``N`` of ``N - f`` servers.  Requires ``f >= 2``.
+    """
+    _validate(n, f, v_size, min_f=2)
+    return exact_log2(v_size) + exact_log2(v_size - 1) - exact_log2(n - f)
+
+
+def theorem41_max_bits(n: int, f: int, v_size: int) -> float:
+    """Corollary 4.2: ``MaxStorage >= rhs / (N - f + 1)`` bits."""
+    return theorem41_subset_rhs_bits(n, f, v_size) / (n - f + 1)
+
+
+def theorem41_total_bits(n: int, f: int, v_size: int) -> float:
+    """Corollary 4.2: ``TotalStorage >= N * rhs / (N - f + 1)`` bits."""
+    return n * theorem41_subset_rhs_bits(n, f, v_size) / (n - f + 1)
+
+
+def theorem41_total_normalized(n: int, f: int) -> float:
+    """Corollary 4.2 coefficient as ``|V| -> infinity``: ``2N/(N-f+1)``."""
+    _validate(n, f, 2, min_f=2)
+    return 2 * n / (n - f + 1)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.1 / Corollary 5.2  (universal; gossip allowed)
+# ---------------------------------------------------------------------------
+
+def theorem51_subset_rhs_bits(n: int, f: int, v_size: int) -> float:
+    """Theorem 5.1 RHS: ``log2|V| + log2(|V|-1) - 2 log2(N-f)``.
+
+    Lower-bounds ``sum_{i in N} log2|S_i| + 2 max_{i in N} log2|S_i|``
+    for every subset ``N`` of ``N - f`` servers.
+    """
+    _validate(n, f, v_size, min_f=1)
+    return exact_log2(v_size) + exact_log2(v_size - 1) - 2 * exact_log2(n - f)
+
+
+def theorem51_max_bits(n: int, f: int, v_size: int) -> float:
+    """Corollary 5.2: ``MaxStorage >= rhs / (N - f + 2)`` bits."""
+    return theorem51_subset_rhs_bits(n, f, v_size) / (n - f + 2)
+
+
+def theorem51_total_bits(n: int, f: int, v_size: int) -> float:
+    """Corollary 5.2: ``TotalStorage >= N * rhs / (N - f + 2)`` bits."""
+    return n * theorem51_subset_rhs_bits(n, f, v_size) / (n - f + 2)
+
+
+def theorem51_total_normalized(n: int, f: int) -> float:
+    """Corollary 5.2 coefficient: ``2N/(N-f+2)``."""
+    _validate(n, f, 2, min_f=1)
+    return 2 * n / (n - f + 2)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.5 / Corollary 6.6  (one value-dependent write phase)
+# ---------------------------------------------------------------------------
+
+def theorem65_subset_rhs_bits(n: int, f: int, v_size: int, nu: int) -> float:
+    """Theorem 6.5 RHS over any ``min(N-f+nu*-1, N)`` servers.
+
+    ``log2 C(|V|-1, nu*) - nu* log2(N-f+nu*-1) - log2(nu*!)``.
+    """
+    _validate(n, f, v_size, min_f=1)
+    ns = nu_star(nu, f)
+    if v_size - 1 < ns:
+        raise BoundError(
+            f"need |V| - 1 >= nu* ({ns}) distinct non-initial values, "
+            f"got |V|={v_size}"
+        )
+    width = n - f + ns - 1
+    return log2_binomial(v_size - 1, ns) - ns * exact_log2(width) - log2_factorial(ns)
+
+
+def theorem65_subset_size(n: int, f: int, nu: int) -> int:
+    """Number of servers the Theorem 6.5 subset inequality ranges over."""
+    return min(n - f + nu_star(nu, f) - 1, n)
+
+
+def theorem65_max_bits(n: int, f: int, v_size: int, nu: int) -> float:
+    """MaxStorage bound implied by Theorem 6.5 (corollary derivation)."""
+    width = theorem65_subset_size(n, f, nu)
+    return theorem65_subset_rhs_bits(n, f, v_size, nu) / width
+
+
+def theorem65_total_bits(n: int, f: int, v_size: int, nu: int) -> float:
+    """TotalStorage bound implied by Theorem 6.5: ``N * rhs / width``."""
+    width = theorem65_subset_size(n, f, nu)
+    return n * theorem65_subset_rhs_bits(n, f, v_size, nu) / width
+
+
+def theorem65_total_normalized(n: int, f: int, nu: int) -> float:
+    """Corollary 6.6 coefficient: ``nu* N / (N - f + nu* - 1)``."""
+    _validate(n, f, 2, min_f=1)
+    ns = nu_star(nu, f)
+    return ns * n / (n - f + ns - 1)
+
+
+# ---------------------------------------------------------------------------
+# Prior upper bounds (the comparison curves in Figure 1)
+# ---------------------------------------------------------------------------
+
+def abd_upper_total_normalized(f: int) -> float:
+    """Replication (ABD [3]) on its minimal ``f+1``-server deployment.
+
+    Section 2.1: replication needs at least ``f+1`` servers, each
+    storing one full value, and ABD achieves this; the cost does not
+    grow with the number of active writes.
+    """
+    if f < 0:
+        raise BoundError(f"need f >= 0, got {f}")
+    return float(f + 1)
+
+
+def erasure_coding_upper_total_normalized(n: int, f: int, nu: int) -> float:
+    """Erasure-coded algorithms [2,4,5,12]: ``nu * N / (N - f)``.
+
+    Worst case over executions with at most ``nu`` active writes; the
+    rate-optimal configuration stores one ``log2|V|/(N-f)``-bit symbol
+    per active version per server.
+    """
+    _validate(n, f, 2, min_f=1)
+    if nu < 0:
+        raise BoundError(f"need nu >= 0, got {nu}")
+    return nu * n / (n - f)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BoundValues:
+    """All bounds evaluated at one parameter point.
+
+    Lower bounds are on *any* algorithm (subject to each theorem's
+    hypotheses); upper bounds are what known algorithms achieve.  All
+    values are normalized by ``log2 |V|`` (``None`` for entries whose
+    hypotheses fail at this parameter point, e.g. Theorem 4.1 with
+    ``f < 2``).
+    """
+
+    n: int
+    f: int
+    nu: int
+    singleton: float
+    theorem41: Optional[float]
+    theorem51: float
+    theorem65: float
+    abd_upper: float
+    erasure_coding_upper: float
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """Name -> normalized value."""
+        return {
+            "singleton": self.singleton,
+            "theorem41": self.theorem41,
+            "theorem51": self.theorem51,
+            "theorem65": self.theorem65,
+            "abd_upper": self.abd_upper,
+            "erasure_coding_upper": self.erasure_coding_upper,
+        }
+
+    def best_lower(self) -> float:
+        """The strongest applicable lower bound at this point."""
+        candidates = [self.singleton, self.theorem51, self.theorem65]
+        if self.theorem41 is not None:
+            candidates.append(self.theorem41)
+        return max(candidates)
+
+    def best_upper(self) -> float:
+        """The cheaper of the two known algorithm families."""
+        return min(self.abd_upper, self.erasure_coding_upper)
+
+
+def evaluate_bounds(n: int, f: int, nu: int) -> BoundValues:
+    """Evaluate every normalized bound at ``(n, f, nu)``."""
+    return BoundValues(
+        n=n,
+        f=f,
+        nu=nu,
+        singleton=singleton_total_normalized(n, f),
+        theorem41=theorem41_total_normalized(n, f) if f >= 2 else None,
+        theorem51=theorem51_total_normalized(n, f),
+        theorem65=theorem65_total_normalized(n, f, nu),
+        abd_upper=abd_upper_total_normalized(f),
+        erasure_coding_upper=erasure_coding_upper_total_normalized(n, f, nu),
+    )

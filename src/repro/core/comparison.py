@@ -1,0 +1,93 @@
+"""Bound-vs-bound and bound-vs-algorithm comparisons (Section 2).
+
+Turns the paper's narrative comparisons into computable facts:
+
+* the crossover concurrency at which erasure coding stops beating
+  replication (visible in Figure 1 where the ``ν N/(N-f)`` line crosses
+  ``f+1``);
+* the factor by which Theorems 4.1 / 5.1 improve on the Singleton-style
+  bound (the paper's "approximately twice as strong");
+* which lower bound dominates at a given parameter point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.bounds import (
+    abd_upper_total_normalized,
+    erasure_coding_upper_total_normalized,
+    evaluate_bounds,
+    singleton_total_normalized,
+    theorem41_total_normalized,
+    theorem51_total_normalized,
+)
+from repro.errors import BoundError
+from repro.util.intmath import ceil_div
+
+
+def crossover_active_writes(n: int, f: int) -> int:
+    """Smallest ``nu`` at which erasure coding costs >= replication.
+
+    Solves ``nu * N/(N-f) >= f+1``: ``nu = ceil((f+1)(N-f)/N)``.
+    Below this concurrency erasure coding wins; at or above it,
+    replication's flat ``f+1`` is at least as good.
+    """
+    if not 0 <= f < n:
+        raise BoundError(f"need 0 <= f < n, got n={n}, f={f}")
+    return ceil_div((f + 1) * (n - f), n)
+
+
+def improvement_over_singleton(n: int, f: int) -> Dict[str, float]:
+    """Ratio of the new bounds to the Singleton-style bound.
+
+    Section 2.2: with ``f`` fixed and ``N`` growing these approach 2.
+    """
+    base = singleton_total_normalized(n, f)
+    out = {"theorem51": theorem51_total_normalized(n, f) / base}
+    if f >= 2:
+        out["theorem41"] = theorem41_total_normalized(n, f) / base
+    return out
+
+
+def dominating_bound(n: int, f: int, nu: int) -> Tuple[str, float]:
+    """Name and value of the strongest applicable lower bound."""
+    values = evaluate_bounds(n, f, nu)
+    candidates: List[Tuple[str, float]] = [
+        ("singleton", values.singleton),
+        ("theorem51", values.theorem51),
+        ("theorem65", values.theorem65),
+    ]
+    if values.theorem41 is not None:
+        candidates.append(("theorem41", values.theorem41))
+    name, value = max(candidates, key=lambda kv: kv[1])
+    return name, value
+
+
+def lower_upper_gap(n: int, f: int, nu: int) -> float:
+    """Multiplicative gap between best upper and best lower bound.
+
+    A value of 1.0 would mean the question of Section 7 is closed at
+    this parameter point; the paper leaves it open (gap > 1 for
+    unconstrained algorithms once ``nu`` exceeds the Theorem 6.5
+    class's reach).
+    """
+    values = evaluate_bounds(n, f, nu)
+    return values.best_upper() / values.best_lower()
+
+
+def bounds_respected_by(measured_normalized_total: float, n: int, f: int,
+                        nu: int, slack: float = 1e-9) -> Dict[str, bool]:
+    """Which lower bounds a measured algorithm cost satisfies.
+
+    Any correct algorithm must satisfy all applicable ones; a ``False``
+    entry flags either a measurement artifact or an algorithm outside
+    the bound's hypotheses.
+    """
+    values = evaluate_bounds(n, f, nu)
+    out = {}
+    for name, bound in values.as_dict().items():
+        if name.endswith("_upper") or bound is None:
+            continue
+        out[name] = measured_normalized_total >= bound - slack
+    return out

@@ -1,0 +1,93 @@
+"""Section 7 "state of the art" classification.
+
+The paper closes by summarizing what any algorithm with storage cost
+``g(nu, N, f) * log2|V| + o(log2|V|)`` must look like:
+
+* ``g >= 2N/(N-f+2)`` always (Theorem 5.1);
+* if ``g < nu*N/(N-f+nu*-1)`` then the algorithm escapes Theorem 6.5's
+  class: the writer sends its value in multiple phases, or the writer
+  state does not separate value and metadata, or the writer takes
+  non-black-box actions;
+* if ``g < f+1`` for all ``nu`` then (by [23]'s complementary result)
+  in some executions servers must jointly encode values across
+  versions.
+
+:func:`classify_storage_coefficient` applies these tests to a claimed
+or measured coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.bounds import (
+    theorem51_total_normalized,
+    theorem65_total_normalized,
+)
+
+
+@dataclass(frozen=True)
+class RegimeClassification:
+    """What a storage coefficient ``g`` at ``(n, f, nu)`` implies."""
+
+    n: int
+    f: int
+    nu: int
+    g: float
+    impossible: bool
+    escapes_theorem65_class: bool
+    requires_cross_version_coding: bool
+    notes: tuple
+
+    def summary(self) -> str:
+        """Human-readable one-liner."""
+        if self.impossible:
+            return "impossible: violates the universal bound of Theorem 5.1"
+        flags = []
+        if self.escapes_theorem65_class:
+            flags.append("must escape Theorem 6.5's write-protocol class")
+        if self.requires_cross_version_coding:
+            flags.append("must jointly encode values across versions")
+        return "; ".join(flags) if flags else "consistent with known algorithms"
+
+
+def classify_storage_coefficient(
+    n: int, f: int, nu: int, g: float
+) -> RegimeClassification:
+    """Classify a storage coefficient per the Section 7 summary."""
+    notes: List[str] = []
+    universal = theorem51_total_normalized(n, f)
+    impossible = g < universal - 1e-12
+    if impossible:
+        notes.append(
+            f"g={g:.4f} < 2N/(N-f+2)={universal:.4f}: no such algorithm exists"
+        )
+    restricted = theorem65_total_normalized(n, f, nu)
+    escapes = (not impossible) and g < restricted - 1e-12
+    if escapes:
+        notes.append(
+            f"g={g:.4f} < nu*N/(N-f+nu*-1)={restricted:.4f}: the writer must "
+            "send the value in multiple phases, mix value and metadata in "
+            "its state, or take non-black-box actions"
+        )
+    # "g < f+1 for all nu" -- evaluate at the saturating nu* = f+1, where
+    # Theorem 6.5's bound itself reaches (f+1)N/N... The cross-version
+    # claim comes from [23]: sub-(f+1) storage for unbounded concurrency
+    # forces joint encoding.
+    requires_joint = (not impossible) and nu >= f + 1 and g < (f + 1) - 1e-12
+    if requires_joint:
+        notes.append(
+            f"g={g:.4f} < f+1={f + 1} at saturating concurrency: servers "
+            "must store symbols jointly encoding multiple versions ([23])"
+        )
+    return RegimeClassification(
+        n=n,
+        f=f,
+        nu=nu,
+        g=g,
+        impossible=impossible,
+        escapes_theorem65_class=escapes,
+        requires_cross_version_coding=requires_joint,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems define narrower
+subclasses below; modules should raise the most specific one that
+applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the simulation substrate."""
+
+
+class UnknownProcessError(SimulationError):
+    """A message or action referenced a process id that does not exist."""
+
+
+class ProcessFailedError(SimulationError):
+    """An action was attempted on a process that has crashed."""
+
+
+class SchedulerExhaustedError(SimulationError):
+    """The scheduler ran out of enabled actions before the goal was met."""
+
+
+class OperationIncompleteError(SimulationError):
+    """A client operation was expected to terminate but did not."""
+
+
+class CodingError(ReproError):
+    """Base class for erasure-coding errors."""
+
+
+class FieldError(CodingError):
+    """Invalid finite-field construction or element."""
+
+
+class DecodingError(CodingError):
+    """Not enough (or inconsistent) codeword symbols to decode a value."""
+
+
+class EncodingError(CodingError):
+    """A value could not be encoded (e.g. out of the field's range)."""
+
+
+class ConsistencyError(ReproError):
+    """Base class for consistency-checker errors."""
+
+
+class MalformedHistoryError(ConsistencyError):
+    """An operation history violates basic well-formedness rules."""
+
+
+class ConsistencyViolation(ConsistencyError):
+    """A history failed a consistency check (atomicity / regularity).
+
+    Raised only by the ``require_*`` convenience wrappers; the checkers
+    themselves return rich verdict objects instead of raising.
+    """
+
+
+class BoundError(ReproError):
+    """Invalid parameters supplied to a bound formula."""
+
+
+class ProofConstructionError(ReproError):
+    """An executable-proof driver could not construct the execution it
+    needed (e.g. no critical point was found, which would contradict
+    Lemma 4.6 for a correct algorithm)."""

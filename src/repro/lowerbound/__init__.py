@@ -1,0 +1,46 @@
+"""Executable versions of the paper's lower-bound proofs.
+
+The proofs of Theorems B.1 and 4.1 are constructive: they build
+adversarial executions, locate *critical points* via a valency
+argument, and count the distinct server-state vectors those points
+expose.  Against an *arbitrary* algorithm the count is a thought
+experiment; against a *concrete* algorithm in the simulator it is a
+program:
+
+* :mod:`repro.lowerbound.executions` — the two-write execution
+  ``alpha(v1, v2)`` of Section 4.3.1, with a World snapshot at every
+  point;
+* :mod:`repro.lowerbound.valency` — the read-extension probe behind
+  Definitions 4.3 / 5.3;
+* :mod:`repro.lowerbound.critical` — critical-point search
+  (Lemma 4.6);
+* :mod:`repro.lowerbound.counting` — the injective-mapping counting
+  step;
+* :mod:`repro.lowerbound.theorem_b1` / ``theorem41`` — end-to-end
+  drivers emitting :mod:`repro.core.certificates`.
+"""
+
+from repro.lowerbound.executions import TwoWriteExecution, construct_two_write_execution
+from repro.lowerbound.valency import probe_read_value, is_valent_for
+from repro.lowerbound.critical import CriticalPair, find_critical_pair
+from repro.lowerbound.counting import collect_state_vectors, injectivity_of
+from repro.lowerbound.assumptions import AssumptionReport, analyze_write_protocol
+from repro.lowerbound.theorem_b1 import run_theorem_b1_experiment
+from repro.lowerbound.theorem41 import run_theorem41_experiment
+from repro.lowerbound.theorem65 import run_theorem65_experiment
+
+__all__ = [
+    "TwoWriteExecution",
+    "construct_two_write_execution",
+    "probe_read_value",
+    "is_valent_for",
+    "CriticalPair",
+    "find_critical_pair",
+    "collect_state_vectors",
+    "injectivity_of",
+    "AssumptionReport",
+    "analyze_write_protocol",
+    "run_theorem_b1_experiment",
+    "run_theorem41_experiment",
+    "run_theorem65_experiment",
+]

@@ -1,0 +1,86 @@
+"""The counting step: injectivity of ``(v1, v2) -> S(v1, v2)``.
+
+For each ordered pair of distinct values, the Theorem 4.1 construction
+yields a critical pair ``(Q1, Q2)``.  The fingerprint vector
+``S(v1,v2)`` holds the surviving servers' states at ``Q1``, the index
+of the (at most one — Lemma 4.8) server that changed between the
+points, and that server's state at ``Q2``.  The theorem's core claim is
+that the map from value pairs to fingerprints is injective, which
+forces ``prod |S_i| * (N-f) * max |S_i| >= |V| (|V|-1)``.
+
+This module computes the fingerprints from real critical pairs and
+checks the injectivity directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.certificates import InjectivityCertificate
+from repro.errors import ProofConstructionError
+from repro.lowerbound.critical import CriticalPair
+from repro.sim.network import World
+
+#: Fingerprint type: (survivor states at Q1, changed server id, its state at Q2)
+StateVector = Tuple[Tuple[tuple, ...], str, tuple]
+
+
+def _survivor_digests(world: World, surviving: Sequence[str]) -> Dict[str, tuple]:
+    return {pid: world.process(pid).state_digest() for pid in surviving}
+
+
+def state_vector_for(
+    pair: CriticalPair, surviving: Sequence[str]
+) -> StateVector:
+    """Build ``S(v1,v2)`` from a critical pair.
+
+    Lemma 4.8(b): at most one non-failing server changes state between
+    ``Q1`` and ``Q2``.  If more than one changed, the simulation
+    violated the single-action-per-point discipline and we raise.
+    """
+    at_q1 = _survivor_digests(pair.q1, surviving)
+    at_q2 = _survivor_digests(pair.q2, surviving)
+    changed = [pid for pid in surviving if at_q1[pid] != at_q2[pid]]
+    if len(changed) > 1:
+        raise ProofConstructionError(
+            f"{len(changed)} servers changed state between critical points; "
+            "Lemma 4.8 allows at most one"
+        )
+    s = changed[0] if changed else sorted(surviving)[0]
+    ordered_q1 = tuple(at_q1[pid] for pid in sorted(surviving))
+    return (ordered_q1, s, at_q2[s])
+
+
+def collect_state_vectors(
+    pairs: Dict[Tuple[int, int], CriticalPair], surviving: Sequence[str]
+) -> Dict[Tuple[int, int], StateVector]:
+    """Fingerprints for every value pair's critical pair."""
+    return {
+        values: state_vector_for(pair, surviving)
+        for values, pair in pairs.items()
+    }
+
+
+def injectivity_of(
+    vectors: Dict[Tuple[int, int], StateVector]
+) -> InjectivityCertificate:
+    """Certificate for the map ``(v1,v2) -> S(v1,v2)``."""
+    return InjectivityCertificate(
+        domain_size=len(vectors), image_size=len(set(vectors.values()))
+    )
+
+
+def colliding_pairs(
+    vectors: Dict[Tuple[int, int], StateVector]
+) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """All pairs of value-pairs whose fingerprints collide (diagnostics)."""
+    by_vector: Dict[StateVector, List[Tuple[int, int]]] = {}
+    for values, vector in vectors.items():
+        by_vector.setdefault(vector, []).append(values)
+    collisions = []
+    for group in by_vector.values():
+        group = sorted(group)
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                collisions.append((group[i], group[j]))
+    return collisions

@@ -1,0 +1,80 @@
+"""Critical-point search (Definition 4.7, Lemma 4.6).
+
+In ``alpha(v1, v2)``, point ``P_0`` is 1-valent (a frozen-writer read
+returns ``v1``) and ``P_M`` is not (it must return ``v2``).  Lemma 4.6
+guarantees a consecutive pair ``(P_i, P_{i+1})`` where the valency
+flips; that pair is the *critical pair* whose two state vectors the
+counting argument fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProofConstructionError
+from repro.lowerbound.executions import TwoWriteExecution
+from repro.lowerbound.valency import probe_read_value
+from repro.sim.network import World
+
+
+@dataclass
+class CriticalPair:
+    """A flip point: reads return ``v1`` at ``q1`` but not at ``q2``."""
+
+    index: int  # q1 is snapshots[index], q2 is snapshots[index + 1]
+    q1: World
+    q2: World
+    value_at_q1: int
+    value_at_q2: int
+
+
+def find_critical_pair(
+    execution: TwoWriteExecution,
+    deliver_gossip_first: bool = False,
+    max_steps: int = 100_000,
+) -> CriticalPair:
+    """Locate the first valency flip in the execution's snapshot window.
+
+    Probes each point in order and returns the first ``i`` with
+    ``probe(P_i) == v1`` and ``probe(P_{i+1}) != v1``.  Verifies the
+    endpoints match Lemma 4.6 ((i) ``P_0`` 1-valent, (ii) ``P_M`` not),
+    raising :class:`ProofConstructionError` — i.e. flagging an
+    incorrect algorithm — otherwise.
+    """
+    snapshots = execution.snapshots
+    writer_pids = [execution.writer_pid]
+    reader = execution.reader_pid
+
+    def probe(world: World) -> int:
+        value = probe_read_value(
+            world, writer_pids, reader, deliver_gossip_first, max_steps
+        )
+        if value not in (execution.v1, execution.v2):
+            raise ProofConstructionError(
+                f"probe read returned {value}, violating Lemma 4.5 "
+                f"(must be v1={execution.v1} or v2={execution.v2})"
+            )
+        return value
+
+    first = probe(snapshots[0])
+    if first != execution.v1:
+        raise ProofConstructionError(
+            f"P_0 is not 1-valent: probe returned {first}, expected "
+            f"v1={execution.v1} (regularity violated after pi1 terminated)"
+        )
+    previous = first
+    for i in range(1, len(snapshots)):
+        current = probe(snapshots[i])
+        if previous == execution.v1 and current != execution.v1:
+            return CriticalPair(
+                index=i - 1,
+                q1=snapshots[i - 1],
+                q2=snapshots[i],
+                value_at_q1=previous,
+                value_at_q2=current,
+            )
+        previous = current
+    raise ProofConstructionError(
+        "no valency flip found: P_M is still 1-valent, contradicting "
+        "regularity (a read after pi2 terminated must return v2)"
+    )

@@ -1,0 +1,129 @@
+"""The two-write adversarial execution ``alpha(v1, v2)`` (Section 4.3.1).
+
+Construction, exactly as the paper describes it:
+
+1. the ``f`` chosen servers fail at the beginning of the execution;
+2. a write ``pi1`` with value ``v1`` is invoked and all components
+   except the readers take fair turns until it terminates;
+3. immediately after, a write ``pi2`` with value ``v2`` is invoked and
+   run the same way until it terminates.
+
+We snapshot (fork) the World at every point from ``P0`` (just after
+``pi1`` terminates, before ``pi2``) to ``P_M`` (just after ``pi2``
+terminates), giving the valency prober the full window in which the
+critical pair must lie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ProofConstructionError
+from repro.registers.base import SystemHandle
+from repro.sim.network import World
+from repro.sim.scheduler import ChannelFilter
+
+#: A builder returns a fresh SystemHandle for given (n, f, value_bits).
+SystemBuilder = Callable[[int, int, int], SystemHandle]
+
+
+@dataclass
+class TwoWriteExecution:
+    """``alpha(v1, v2)`` with per-point snapshots of the critical window."""
+
+    v1: int
+    v2: int
+    handle: SystemHandle
+    failed_server_ids: List[str]
+    surviving_server_ids: List[str]
+    writer_pid: str
+    reader_pid: str
+    #: Forked Worlds at points P_0 .. P_M; snapshots[0] is P_0 (after
+    #: pi1 terminated, before pi2 was invoked) and snapshots[-1] is P_M
+    #: (after pi2 terminated).
+    snapshots: List[World]
+
+    @property
+    def num_points(self) -> int:
+        """Number of snapshotted points (M + 1)."""
+        return len(self.snapshots)
+
+
+def _fair_filter_excluding_readers(
+    handle: SystemHandle,
+) -> Optional[ChannelFilter]:
+    """Filter freezing reader channels: readers take no actions in alpha."""
+    readers = handle.reader_ids
+    return ChannelFilter.freeze_processes(readers)
+
+
+def construct_two_write_execution(
+    builder: SystemBuilder,
+    n: int,
+    f: int,
+    value_bits: int,
+    v1: int,
+    v2: int,
+    failed_indices: Optional[Sequence[int]] = None,
+    max_steps: int = 100_000,
+) -> TwoWriteExecution:
+    """Build ``alpha(v1, v2)`` for the algorithm produced by ``builder``.
+
+    ``failed_indices`` selects which ``f`` servers crash at the start
+    (default: the last ``f``, so the surviving subset is the first
+    ``N - f`` — the paper's arbitrary subset N).
+    """
+    if v1 == v2:
+        raise ProofConstructionError("alpha(v1,v2) requires v1 != v2")
+    handle = builder(n, f, value_bits)
+    world = handle.world
+    if failed_indices is None:
+        failed_indices = range(n - f, n)
+    failed = [handle.server_ids[i] for i in failed_indices]
+    if len(failed) != f:
+        raise ProofConstructionError(
+            f"must fail exactly f={f} servers, got {len(failed)}"
+        )
+    surviving = [pid for pid in handle.server_ids if pid not in failed]
+    for pid in failed:
+        world.crash(pid)
+
+    no_readers = _fair_filter_excluding_readers(handle)
+    writer = handle.writer_ids[0]
+    reader = handle.reader_ids[0]
+
+    # pi1: write v1 to completion under fair turns (readers inert).
+    pi1 = world.invoke_write(writer, v1)
+    world.run_op_to_completion(pi1, no_readers, max_steps)
+
+    snapshots: List[World] = [world.fork()]  # P_0
+
+    # pi2: invoked immediately after pi1 terminates; snapshot every point.
+    pi2 = world.invoke_write(writer, v2)
+    snapshots.append(world.fork())
+    steps = 0
+    while not pi2.is_complete:
+        record = world.step(no_readers)
+        if record is None:
+            raise ProofConstructionError(
+                "system quiesced before pi2 terminated — the algorithm "
+                "violates its liveness property in alpha(v1,v2)"
+            )
+        snapshots.append(world.fork())
+        steps += 1
+        if steps > max_steps:
+            raise ProofConstructionError(
+                f"pi2 did not terminate within {max_steps} steps"
+            )
+
+    return TwoWriteExecution(
+        v1=v1,
+        v2=v2,
+        handle=handle,
+        failed_server_ids=failed,
+        surviving_server_ids=surviving,
+        writer_pid=writer,
+        reader_pid=reader,
+        snapshots=snapshots,
+    )

@@ -1,0 +1,79 @@
+"""Valency probing (Definitions 4.3 and 5.3).
+
+A point ``P`` is *k-valent* if the execution can be extended so that,
+with all messages from and to the writer delayed indefinitely, a read
+invoked at ``P`` returns ``v_k``.  For Theorem 5.1's definition the
+channels between servers first deliver all their messages.
+
+Against a concrete deterministic algorithm we probe constructively:
+fork the World at ``P``, install the freeze filter, (optionally) drain
+the inter-server channels, invoke a read, and run fairly to
+completion.  The returned value witnesses one valency; by Lemma 4.5 it
+is always ``v1`` or ``v2`` in the two-write execution, so the probe
+classifies every point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import OperationIncompleteError, ProofConstructionError
+from repro.sim.network import World
+from repro.sim.scheduler import ChannelFilter
+
+
+def probe_read_value(
+    world: World,
+    writer_pids: Sequence[str],
+    reader_pid: str,
+    deliver_gossip_first: bool = False,
+    max_steps: int = 100_000,
+) -> int:
+    """Return the value a read started at this point would return.
+
+    Forks ``world`` (the input is never mutated), freezes every channel
+    touching a writer, optionally delivers all inter-server messages
+    (the Theorem 5.1 variant), then runs a read to completion under the
+    freeze filter.
+    """
+    probe = world.fork()
+    freeze = ChannelFilter.freeze_processes(list(writer_pids))
+    if deliver_gossip_first:
+        server_ids = [s.pid for s in probe.servers()]
+        gossip_only = ChannelFilter.only_between(server_ids)
+        probe.deliver_all(gossip_only.intersect(freeze), max_steps)
+    op = probe.invoke_read(reader_pid)
+    try:
+        probe.run_op_to_completion(op, freeze, max_steps)
+    except OperationIncompleteError as exc:
+        raise ProofConstructionError(
+            "probe read did not terminate with the writer frozen — the "
+            "algorithm violates the liveness property the theorems assume "
+            f"({exc})"
+        ) from exc
+    if op.value is None:
+        raise ProofConstructionError("probe read completed without a value")
+    return op.value
+
+
+def is_valent_for(
+    world: World,
+    value: int,
+    writer_pids: Sequence[str],
+    reader_pid: str,
+    deliver_gossip_first: bool = False,
+    max_steps: int = 100_000,
+) -> bool:
+    """Whether the probe read at this point returns ``value``.
+
+    Note this is a *witness* check: a True answer proves the point is
+    valent for ``value``; a False answer only shows this particular
+    fair extension returns something else (sufficient for locating the
+    critical flip, which is all the counting argument needs).
+    """
+    return (
+        probe_read_value(
+            world, writer_pids, reader_pid, deliver_gossip_first, max_steps
+        )
+        == value
+    )

@@ -1,0 +1,135 @@
+"""(j, C0)-valency probing for the Section 6 constructions.
+
+Section 6.4.2 defines: a point is *(j, C0)-valent* if the execution
+can be extended so that the writers **not** in ``C0`` take no further
+value-dependent actions (their queued value-dependent messages stay
+undelivered) and a read returns ``v_j``.
+
+Unlike the two-write case (Definition 4.3), a single fair extension
+does not decide this: the quantifier is existential over *which* of
+the allowed value-dependent messages get delivered, and different
+choices can make different values readable from the same point (that
+is the whole content of the staircase argument in Lemma 6.10).
+
+:func:`witness_values` therefore *enumerates* extensions over a
+bounded strategy space — every subset of the allowed writers, crossed
+with every prefix length of servers to release their messages to —
+and returns the set of values witnessed.  For the protocols in this
+library (whose value-dependent information per writer is a single
+per-server message wave) this granularity captures the distinctions
+the proof uses; it is exponential in ``nu``, which is fine for the
+``nu <= 3`` configurations the executable experiments run.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Optional, Sequence, Set
+
+from repro.errors import OperationIncompleteError
+from repro.sim.network import World
+from repro.sim.scheduler import ChannelFilter
+
+
+def _release_filter(
+    released_writers: FrozenSet[str],
+    all_writers: FrozenSet[str],
+    released_servers: FrozenSet[str],
+    vd_kinds: FrozenSet[str],
+) -> ChannelFilter:
+    """Allow value-dependent deliveries only from released writers to
+    released servers; block all other value-dependent messages."""
+
+    def message_ok(src: str, dst: str, message) -> bool:
+        if getattr(message, "kind", None) not in vd_kinds:
+            return True
+        if src not in all_writers:
+            return True
+        return src in released_writers and dst in released_servers
+
+    return ChannelFilter(
+        lambda s, d: True,
+        f"release({sorted(released_writers)}->{len(released_servers)} servers)",
+        message_allow=message_ok,
+    )
+
+
+def probe_with_release(
+    world: World,
+    released_writers: Sequence[str],
+    released_servers: Sequence[str],
+    all_writers: Sequence[str],
+    vd_kinds: Sequence[str],
+    reader_pid: str,
+    max_steps: int = 100_000,
+) -> Optional[int]:
+    """One extension: deliver the chosen value-dependent messages, read.
+
+    Returns the read's value, or None if the read cannot terminate
+    under this release choice (some protocols block when too little
+    information was released — itself useful evidence).
+    """
+    probe = world.fork()
+    release = _release_filter(
+        frozenset(released_writers),
+        frozenset(all_writers),
+        frozenset(released_servers),
+        frozenset(vd_kinds),
+    )
+    probe.deliver_all(release, max_steps)
+    op = probe.invoke_read(reader_pid)
+    try:
+        probe.run_op_to_completion(op, release, max_steps)
+    except OperationIncompleteError:
+        return None
+    return op.value
+
+
+def witness_values(
+    world: World,
+    allowed_writers: Sequence[str],
+    all_writers: Sequence[str],
+    server_ids: Sequence[str],
+    vd_kinds: Sequence[str],
+    reader_pid: str,
+    max_steps: int = 100_000,
+) -> Set[int]:
+    """All values witnessed by some extension in the strategy space.
+
+    Enumerates every subset of ``allowed_writers`` and every prefix of
+    ``server_ids``, releasing exactly that subset's value-dependent
+    messages to that prefix.  A value ``v_j`` in the result witnesses
+    that the point is (j, C0)-valent for ``C0 = allowed_writers``.
+    """
+    values: Set[int] = set()
+    allowed = list(allowed_writers)
+    for r in range(len(allowed) + 1):
+        for subset in combinations(allowed, r):
+            for prefix in range(len(server_ids) + 1):
+                value = probe_with_release(
+                    world,
+                    subset,
+                    server_ids[:prefix],
+                    all_writers,
+                    vd_kinds,
+                    reader_pid,
+                    max_steps,
+                )
+                if value is not None:
+                    values.add(value)
+    return values
+
+
+def is_j_c0_valent(
+    world: World,
+    target_value: int,
+    allowed_writers: Sequence[str],
+    all_writers: Sequence[str],
+    server_ids: Sequence[str],
+    vd_kinds: Sequence[str],
+    reader_pid: str,
+) -> bool:
+    """Witness check for (j, C0)-valency over the bounded strategy space."""
+    return target_value in witness_values(
+        world, allowed_writers, all_writers, server_ids, vd_kinds, reader_pid
+    )

@@ -1,0 +1,273 @@
+"""The ABD replication algorithm (Attiya, Bar-Noy, Dolev [3]).
+
+Multi-writer multi-reader atomic register over ``N`` servers tolerating
+``f < N/2`` crash failures, quorum size ``N - f``.
+
+* **Server state:** the highest tag seen and its full value — one value
+  of storage per server, independent of concurrency (the flat ``f+1``
+  line in Figure 1 when deployed on the minimum ``f+1``-server
+  configuration; on ``N`` servers total storage is ``N`` values).
+* **Write:** phase 1 queries a quorum for the highest tag; phase 2
+  sends ``(tag+1, value)`` to all and awaits a quorum of acks.  Only
+  phase 2 is value-dependent, and all actions are black-box — ABD lies
+  inside the class of Theorem 6.5 (the paper says so explicitly).
+* **Read:** phase 1 queries a quorum and selects the max ``(tag,
+  value)``; phase 2 writes that pair back to a quorum before returning
+  (the write-back is what upgrades regularity to atomicity).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.registers.base import (
+    SystemHandle,
+    quorum_size,
+    reader_id,
+    server_id,
+    validate_system_params,
+    writer_id,
+)
+from repro.registers.tags import INITIAL_TAG, Tag
+from repro.sim.events import Message
+from repro.sim.network import World
+from repro.sim.process import (
+    ClientProcess,
+    ProcessContext,
+    ServerProcess,
+    require_payload,
+)
+
+#: Nominal metadata bits per stored tag (seq counter + client id); the
+#: paper treats all such costs as o(log |V|).
+TAG_METADATA_BITS = 64
+
+
+class ABDServer(ServerProcess):
+    """Stores the highest-tagged ``(tag, value)`` pair seen so far."""
+
+    def __init__(self, pid: str, value_bits: int, initial_value: int = 0) -> None:
+        super().__init__(pid)
+        self.value_bits = value_bits
+        self.tag: Tag = INITIAL_TAG
+        self.value: int = initial_value
+
+    def on_message(self, ctx: ProcessContext, src: str, message: Message) -> None:
+        if message.kind == "get":
+            ctx.send(
+                src,
+                Message.make(
+                    "get-ack",
+                    ref=require_payload(message, "ref"),
+                    tag=self.tag.as_tuple(),
+                    value=self.value,
+                ),
+            )
+        elif message.kind == "put":
+            tag = Tag.from_tuple(require_payload(message, "tag"))
+            if tag > self.tag:
+                self.tag = tag
+                self.value = require_payload(message, "value")
+            ctx.send(
+                src,
+                Message.make("put-ack", ref=require_payload(message, "ref")),
+            )
+        else:
+            raise SimulationError(f"ABD server got unknown message {message!r}")
+
+    def state_digest(self) -> tuple:
+        return (self.tag.as_tuple(), self.value)
+
+    def storage_bits(self, count_metadata: bool = False) -> float:
+        """One full value, plus tag metadata if requested."""
+        bits = float(self.value_bits)
+        if count_metadata:
+            bits += TAG_METADATA_BITS
+        return bits
+
+
+class _QuorumClient(ClientProcess):
+    """Shared two-phase quorum machinery for ABD clients."""
+
+    def __init__(self, pid: str, server_ids: Tuple[str, ...], quorum: int) -> None:
+        super().__init__(pid)
+        self.server_ids = server_ids
+        self.quorum = quorum
+        self.phase: int = 0
+        self.phase_nonce: int = 0
+        self.responded: Set[str] = set()
+
+    def _ref(self) -> tuple:
+        return (self.pid, self.phase_nonce)
+
+    def _begin_phase(self, ctx: ProcessContext, message_kind: str, **body) -> None:
+        self.phase_nonce += 1
+        self.responded = set()
+        for sid in self.server_ids:
+            ctx.send(sid, Message.make(message_kind, ref=self._ref(), **body))
+
+    def _accept_ack(self, src: str, message: Message) -> bool:
+        """True iff this ack belongs to the current phase and is new."""
+        if message.get("ref") != self._ref():
+            return False
+        if src in self.responded:
+            return False
+        self.responded.add(src)
+        return True
+
+
+class ABDWriteClient(_QuorumClient):
+    """Two-phase ABD writer."""
+
+    def __init__(self, pid: str, server_ids: Tuple[str, ...], quorum: int) -> None:
+        super().__init__(pid, server_ids, quorum)
+        self.pending_value: Optional[int] = None
+        self.max_tag: Tag = INITIAL_TAG
+
+    def start_write(self, ctx: ProcessContext, op_id: int, value: int) -> None:
+        self.pending_value = value
+        self.max_tag = INITIAL_TAG
+        self.phase = 1
+        self._begin_phase(ctx, "get")
+
+    def start_read(self, ctx: ProcessContext, op_id: int) -> None:
+        raise SimulationError("ABD write client cannot read")
+
+    def on_message(self, ctx: ProcessContext, src: str, message: Message) -> None:
+        if self.pending_op_id is None or not self._accept_ack(src, message):
+            return
+        if self.phase == 1 and message.kind == "get-ack":
+            tag = Tag.from_tuple(message.get("tag"))
+            if tag > self.max_tag:
+                self.max_tag = tag
+            if len(self.responded) >= self.quorum:
+                new_tag = self.max_tag.next_for(self.pid)
+                self.phase = 2
+                self._begin_phase(
+                    ctx,
+                    "put",
+                    tag=new_tag.as_tuple(),
+                    value=self.pending_value,
+                )
+        elif self.phase == 2 and message.kind == "put-ack":
+            if len(self.responded) >= self.quorum:
+                self.phase = 0
+                self.pending_value = None
+                self.finish(ctx)
+
+    def state_digest(self) -> tuple:
+        return (
+            self.phase,
+            self.phase_nonce,
+            tuple(sorted(self.responded)),
+            self.pending_value,
+            self.max_tag.as_tuple(),
+            self.pending_op_id,
+        )
+
+
+class ABDReadClient(_QuorumClient):
+    """Two-phase ABD reader (phase 2 write-back gives atomicity).
+
+    With ``write_back=False`` the read returns after phase 1; the
+    register is then only *regular* — the configuration used by the
+    SWSR lower-bound experiments.
+    """
+
+    def __init__(
+        self,
+        pid: str,
+        server_ids: Tuple[str, ...],
+        quorum: int,
+        write_back: bool = True,
+    ) -> None:
+        super().__init__(pid, server_ids, quorum)
+        self.write_back = write_back
+        self.best_tag: Tag = INITIAL_TAG
+        self.best_value: int = 0
+        self.have_best = False
+
+    def start_read(self, ctx: ProcessContext, op_id: int) -> None:
+        self.best_tag = INITIAL_TAG
+        self.best_value = 0
+        self.have_best = False
+        self.phase = 1
+        self._begin_phase(ctx, "get")
+
+    def start_write(self, ctx: ProcessContext, op_id: int, value: int) -> None:
+        raise SimulationError("ABD read client cannot write")
+
+    def on_message(self, ctx: ProcessContext, src: str, message: Message) -> None:
+        if self.pending_op_id is None or not self._accept_ack(src, message):
+            return
+        if self.phase == 1 and message.kind == "get-ack":
+            tag = Tag.from_tuple(message.get("tag"))
+            if not self.have_best or tag > self.best_tag:
+                self.have_best = True
+                self.best_tag = tag
+                self.best_value = message.get("value")
+            if len(self.responded) >= self.quorum:
+                if self.write_back:
+                    self.phase = 2
+                    self._begin_phase(
+                        ctx,
+                        "put",
+                        tag=self.best_tag.as_tuple(),
+                        value=self.best_value,
+                    )
+                else:
+                    self.phase = 0
+                    self.finish(ctx, self.best_value)
+        elif self.phase == 2 and message.kind == "put-ack":
+            if len(self.responded) >= self.quorum:
+                self.phase = 0
+                self.finish(ctx, self.best_value)
+
+    def state_digest(self) -> tuple:
+        return (
+            self.phase,
+            self.phase_nonce,
+            tuple(sorted(self.responded)),
+            self.best_tag.as_tuple(),
+            self.best_value,
+            self.have_best,
+            self.pending_op_id,
+        )
+
+
+def build_abd_system(
+    n: int,
+    f: int,
+    value_bits: int = 8,
+    num_writers: int = 1,
+    num_readers: int = 1,
+    initial_value: int = 0,
+    read_write_back: bool = True,
+    world: Optional[World] = None,
+) -> SystemHandle:
+    """Build a World running ABD and wrap it in a :class:`SystemHandle`."""
+    validate_system_params(n, f, value_bits, num_writers, num_readers)
+    q = quorum_size(n, f)
+    w = world or World()
+    server_ids = [server_id(i) for i in range(n)]
+    for sid in server_ids:
+        w.add_process(ABDServer(sid, value_bits, initial_value))
+    sid_tuple = tuple(server_ids)
+    writer_ids = [writer_id(i) for i in range(num_writers)]
+    for pid in writer_ids:
+        w.add_process(ABDWriteClient(pid, sid_tuple, q))
+    reader_ids = [reader_id(i) for i in range(num_readers)]
+    for pid in reader_ids:
+        w.add_process(ABDReadClient(pid, sid_tuple, q, read_write_back))
+    return SystemHandle(
+        world=w,
+        algorithm="abd",
+        n=n,
+        f=f,
+        value_bits=value_bits,
+        server_ids=server_ids,
+        writer_ids=writer_ids,
+        reader_ids=reader_ids,
+        params={"quorum": q, "read_write_back": read_write_back},
+    )

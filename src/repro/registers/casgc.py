@@ -1,0 +1,51 @@
+"""CASGC — CAS with garbage collection (Cadambe et al. [5, 6]).
+
+Identical to CAS except servers prune: after each finalize, a server
+keeps only the ``δ+1`` highest finalized tags (and any higher
+unfinalized ones).  With at most ``δ`` writes concurrent with any
+operation, reads still terminate; storage per server is bounded by
+roughly ``(δ + 2)`` coded elements instead of growing with the total
+number of interrupted writes.
+
+This is the algorithm family whose worst-case cost is the
+``ν·N/(N-f)`` upper-bound curve in Figure 1 (with the storage-optimal
+rate ``k = N - f``, see ``optimistic`` in :mod:`repro.registers.cas`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.registers.base import SystemHandle
+from repro.registers.cas import build_cas_system
+from repro.sim.network import World
+
+
+def build_casgc_system(
+    n: int,
+    f: int,
+    value_bits: int = 12,
+    k: Optional[int] = None,
+    gc_depth: int = 0,
+    num_writers: int = 1,
+    num_readers: int = 1,
+    initial_value: int = 0,
+    optimistic: bool = False,
+    world: Optional[World] = None,
+) -> SystemHandle:
+    """Build a CASGC system; ``gc_depth`` is the concurrency bound δ."""
+    if gc_depth < 0:
+        raise ConfigurationError(f"gc_depth must be >= 0, got {gc_depth}")
+    return build_cas_system(
+        n=n,
+        f=f,
+        value_bits=value_bits,
+        k=k,
+        num_writers=num_writers,
+        num_readers=num_readers,
+        initial_value=initial_value,
+        gc_depth=gc_depth,
+        optimistic=optimistic,
+        world=world,
+    )

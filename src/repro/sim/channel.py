@@ -1,0 +1,48 @@
+"""Reliable FIFO point-to-point asynchronous channels.
+
+One :class:`Channel` per ordered pair of processes, created lazily on
+first send.  The channel never drops or reorders messages; asynchrony
+comes entirely from the scheduler choosing *when* each delivery action
+runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.sim.events import Message
+
+
+class Channel:
+    """FIFO queue of messages from ``src`` to ``dst``."""
+
+    def __init__(self, src: str, dst: str) -> None:
+        self.src = src
+        self.dst = dst
+        self._queue: Deque[Message] = deque()
+
+    def enqueue(self, message: Message) -> None:
+        """Append a message to the tail of the channel."""
+        self._queue.append(message)
+
+    def dequeue(self) -> Message:
+        """Pop the head message (caller checks non-emptiness)."""
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Message]:
+        """Head message without removing it, or None if empty."""
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def state_digest(self) -> tuple:
+        """Canonical hashable representation of the channel contents."""
+        return tuple((m.kind, m.body) for m in self._queue)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.src}->{self.dst}, {len(self._queue)} msgs)"

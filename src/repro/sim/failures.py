@@ -1,0 +1,76 @@
+"""Crash-failure patterns.
+
+The lower-bound executions always fail a fixed set of ``f`` servers at
+the very beginning of the execution (Section 4.3.1); workloads may also
+crash servers mid-execution.  A :class:`FailurePattern` is a declarative
+description applied to a World.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.network import World
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """Which processes crash, and after how many steps.
+
+    ``initial`` crash before any other action; ``timed`` entries are
+    ``(pid, after_step)`` pairs applied by :func:`apply_timed_failures`
+    as the execution advances.
+    """
+
+    initial: Tuple[str, ...] = ()
+    timed: Tuple[Tuple[str, int], ...] = ()
+
+    def validate(self, world: World, f: int) -> None:
+        """Check the pattern names real processes and respects ``f``."""
+        all_pids = {p for p in self.initial} | {p for p, _ in self.timed}
+        for pid in all_pids:
+            world.process(pid)  # raises UnknownProcessError
+        server_ids = {s.pid for s in world.servers()}
+        failing_servers = all_pids & server_ids
+        if len(failing_servers) > f:
+            raise ConfigurationError(
+                f"pattern fails {len(failing_servers)} servers, budget is f={f}"
+            )
+
+    def apply_initial(self, world: World) -> None:
+        """Crash the initial set now."""
+        for pid in self.initial:
+            world.crash(pid)
+
+
+def fail_initial(world: World, pids: Sequence[str]) -> None:
+    """Crash ``pids`` at the start of an execution (Section 4.3.1 setup)."""
+    for pid in pids:
+        world.crash(pid)
+
+
+def surviving_servers(world: World) -> List[str]:
+    """Ids of non-failed servers, sorted."""
+    return [s.pid for s in world.servers() if not s.failed]
+
+
+def apply_timed_failures(
+    world: World, pattern: FailurePattern, already_applied: set
+) -> int:
+    """Crash any timed entries whose step has arrived; returns count.
+
+    ``already_applied`` is caller-owned state tracking which entries
+    fired (patterns are frozen and reusable across executions).
+    """
+    fired = 0
+    for entry in pattern.timed:
+        pid, after_step = entry
+        if entry in already_applied:
+            continue
+        if world.step_count >= after_step and not world.process(pid).failed:
+            world.crash(pid)
+            already_applied.add(entry)
+            fired += 1
+    return fired

@@ -1,0 +1,311 @@
+"""The World: processes + channels + the step engine.
+
+A World holds every process and channel, executes one *action* per
+:meth:`World.step` call, and records the action trace and the operation
+history.  The paper's "point ``P_i`` of the execution" is exactly the
+World's state after ``i`` actions (``step_count == i``).
+
+Key operations used by the executable proofs:
+
+* :meth:`run_until` — fair stepping until a predicate holds (e.g. "the
+  write at client w completed"), under an optional channel filter;
+* :meth:`deliver_all` — drain every channel matched by a filter (the
+  proofs' "the channels between the servers deliver all their
+  messages");
+* :meth:`fork` — deep-copy the whole World at the current point.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    OperationIncompleteError,
+    ProcessFailedError,
+    SimulationError,
+    UnknownProcessError,
+)
+from repro.sim.channel import Channel
+from repro.sim.events import ActionRecord, Message, OperationRecord
+from repro.sim.process import ClientProcess, Process, ProcessContext, ServerProcess
+from repro.sim.scheduler import (
+    ChannelFilter,
+    ChannelKey,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+
+class World:
+    """A complete simulated system at some point of some execution."""
+
+    def __init__(self, scheduler: Optional[Scheduler] = None) -> None:
+        self.processes: Dict[str, Process] = {}
+        self.channels: Dict[ChannelKey, Channel] = {}
+        self.scheduler: Scheduler = scheduler or RoundRobinScheduler()
+        self.step_count = 0
+        self.trace: List[ActionRecord] = []
+        self.operations: List[OperationRecord] = []
+        self._next_op_id = 0
+        self.record_trace = True
+
+    # -- topology ------------------------------------------------------------
+
+    def add_process(self, process: Process) -> Process:
+        """Register a process; ids must be unique."""
+        if process.pid in self.processes:
+            raise SimulationError(f"duplicate process id {process.pid!r}")
+        self.processes[process.pid] = process
+        return process
+
+    def process(self, pid: str) -> Process:
+        """Look up a process by id."""
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise UnknownProcessError(f"no process {pid!r}") from None
+
+    def servers(self) -> List[ServerProcess]:
+        """All registered servers, sorted by id."""
+        return sorted(
+            (p for p in self.processes.values() if isinstance(p, ServerProcess)),
+            key=lambda p: p.pid,
+        )
+
+    def clients(self) -> List[ClientProcess]:
+        """All registered clients, sorted by id."""
+        return sorted(
+            (p for p in self.processes.values() if isinstance(p, ClientProcess)),
+            key=lambda p: p.pid,
+        )
+
+    def channel(self, src: str, dst: str) -> Channel:
+        """The channel src->dst, created lazily."""
+        key = (src, dst)
+        if key not in self.channels:
+            if src not in self.processes or dst not in self.processes:
+                raise UnknownProcessError(f"channel endpoints {key} unknown")
+            self.channels[key] = Channel(src, dst)
+        return self.channels[key]
+
+    # -- message plumbing (called by ProcessContext) --------------------------
+
+    def enqueue_message(self, src: str, dst: str, message: Message) -> None:
+        """Place a message in flight (process send action)."""
+        sender = self.process(src)
+        if sender.failed:
+            raise ProcessFailedError(f"failed process {src} cannot send")
+        self.channel(src, dst).enqueue(message)
+
+    def complete_operation(
+        self, client_pid: str, op_id: int, value: Optional[int]
+    ) -> None:
+        """Record an operation response (client return action)."""
+        record = self.operations[op_id]
+        if record.client != client_pid:
+            raise SimulationError(
+                f"op {op_id} belongs to {record.client}, not {client_pid}"
+            )
+        if record.is_complete:
+            raise SimulationError(f"op {op_id} already completed")
+        record.response_step = self.step_count
+        if record.kind == "read":
+            record.value = value
+
+    # -- action execution -----------------------------------------------------
+
+    def _record(self, kind: str, src: Optional[str] = None,
+                dst: Optional[str] = None, info: Optional[str] = None) -> ActionRecord:
+        self.step_count += 1
+        record = ActionRecord(self.step_count, kind, src, dst, info)
+        if self.record_trace:
+            self.trace.append(record)
+        return record
+
+    def enabled_channels(
+        self, channel_filter: Optional[ChannelFilter] = None
+    ) -> List[ChannelKey]:
+        """Non-empty channels permitted by the filter, sorted.
+
+        Message-aware filters see the head message of each channel, so
+        a blocked head (FIFO) disables the whole channel.
+        """
+        keys = [key for key, ch in self.channels.items() if ch]
+        if channel_filter is not None:
+            keys = [
+                k
+                for k in keys
+                if channel_filter.allows(*k, head_message=self.channels[k].peek())
+            ]
+        return sorted(keys)
+
+    def deliver(self, src: str, dst: str) -> ActionRecord:
+        """Execute the delivery action on channel src->dst.
+
+        If the destination has crashed, the message is consumed without
+        a handler call (recorded as a ``drop``), matching the model
+        where a failed process takes no further steps.
+        """
+        channel = self.channel(src, dst)
+        if not channel:
+            raise SimulationError(f"channel {src}->{dst} is empty")
+        message = channel.dequeue()
+        receiver = self.process(dst)
+        if receiver.failed:
+            return self._record("drop", src, dst, message.kind)
+        record = self._record("deliver", src, dst, message.kind)
+        receiver.on_message(ProcessContext(self, dst), src, message)
+        return record
+
+    def step(
+        self, channel_filter: Optional[ChannelFilter] = None
+    ) -> Optional[ActionRecord]:
+        """Run one scheduler-selected delivery; None if nothing enabled."""
+        enabled = self.enabled_channels(channel_filter)
+        if not enabled:
+            return None
+        src, dst = self.scheduler.select(self, enabled)
+        return self.deliver(src, dst)
+
+    def crash(self, pid: str) -> ActionRecord:
+        """Crash a process: it takes no further actions.
+
+        Messages already in its outgoing channels remain deliverable
+        (they are "in the channel", not "at the process").
+        """
+        process = self.process(pid)
+        process.failed = True
+        return self._record("crash", src=pid)
+
+    # -- client operations -----------------------------------------------------
+
+    def invoke_write(self, client_pid: str, value: int) -> OperationRecord:
+        """Invoke a write operation at a client (an input action)."""
+        client = self.process(client_pid)
+        if not isinstance(client, ClientProcess):
+            raise SimulationError(f"{client_pid} is not a client")
+        if client.failed:
+            raise ProcessFailedError(f"failed client {client_pid}")
+        record = OperationRecord(
+            op_id=self._next_op_id, client=client_pid, kind="write", value=value
+        )
+        self._next_op_id += 1
+        self.operations.append(record)
+        self._record("invoke", src=client_pid, info=f"write({value})")
+        record.invoke_step = self.step_count
+        client.begin_operation(record.op_id)
+        client.start_write(ProcessContext(self, client_pid), record.op_id, value)
+        return record
+
+    def invoke_read(self, client_pid: str) -> OperationRecord:
+        """Invoke a read operation at a client (an input action)."""
+        client = self.process(client_pid)
+        if not isinstance(client, ClientProcess):
+            raise SimulationError(f"{client_pid} is not a client")
+        if client.failed:
+            raise ProcessFailedError(f"failed client {client_pid}")
+        record = OperationRecord(
+            op_id=self._next_op_id, client=client_pid, kind="read"
+        )
+        self._next_op_id += 1
+        self.operations.append(record)
+        self._record("invoke", src=client_pid, info="read")
+        record.invoke_step = self.step_count
+        client.begin_operation(record.op_id)
+        client.start_read(ProcessContext(self, client_pid), record.op_id)
+        return record
+
+    # -- driving helpers ---------------------------------------------------------
+
+    def run_until(
+        self,
+        predicate: Callable[["World"], bool],
+        channel_filter: Optional[ChannelFilter] = None,
+        max_steps: int = 100_000,
+    ) -> int:
+        """Step fairly until ``predicate(self)`` holds.
+
+        Returns the number of steps taken.  Raises
+        :class:`OperationIncompleteError` if the system quiesces (no
+        enabled actions) or ``max_steps`` elapse first.
+        """
+        taken = 0
+        while not predicate(self):
+            record = self.step(channel_filter)
+            if record is None:
+                raise OperationIncompleteError(
+                    "system quiesced before predicate held "
+                    f"(filter={channel_filter!r})"
+                )
+            taken += 1
+            if taken > max_steps:
+                raise OperationIncompleteError(
+                    f"predicate still false after {max_steps} steps"
+                )
+        return taken
+
+    def run_op_to_completion(
+        self,
+        record: OperationRecord,
+        channel_filter: Optional[ChannelFilter] = None,
+        max_steps: int = 100_000,
+    ) -> OperationRecord:
+        """Step until the given operation responds."""
+        self.run_until(
+            lambda w: record.is_complete, channel_filter, max_steps
+        )
+        return record
+
+    def deliver_all(
+        self,
+        channel_filter: Optional[ChannelFilter] = None,
+        max_steps: int = 100_000,
+    ) -> int:
+        """Deliver until no filtered channel has messages.
+
+        Deliveries may trigger new sends; the loop continues until a
+        fixed point.  Returns deliveries performed.
+        """
+        taken = 0
+        while True:
+            enabled = self.enabled_channels(channel_filter)
+            if not enabled:
+                return taken
+            self.deliver(*enabled[0])
+            taken += 1
+            if taken > max_steps:
+                raise SimulationError(
+                    f"deliver_all exceeded {max_steps} steps; "
+                    "protocol may be generating unbounded chatter"
+                )
+
+    # -- state inspection ----------------------------------------------------------
+
+    def server_state_vector(
+        self, server_ids: Optional[Sequence[str]] = None
+    ) -> Tuple[tuple, ...]:
+        """Digests of the named servers (default: all), in id order."""
+        if server_ids is None:
+            targets: List[ServerProcess] = self.servers()
+        else:
+            targets = [self.process(pid) for pid in sorted(server_ids)]  # type: ignore[misc]
+        return tuple(p.state_digest() for p in targets)
+
+    def pending_operations(self) -> List[OperationRecord]:
+        """Operations invoked but not yet responded."""
+        return [op for op in self.operations if not op.is_complete]
+
+    def fork(self) -> "World":
+        """Deep-copy the World at the current point.
+
+        The copy shares nothing mutable with the original: stepping one
+        never affects the other.  Used for valency probing.
+        """
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"World(step={self.step_count}, processes={len(self.processes)}, "
+            f"in_flight={sum(len(c) for c in self.channels.values())})"
+        )

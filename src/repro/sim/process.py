@@ -1,0 +1,129 @@
+"""Process base classes: I/O-automaton-style reactive components.
+
+Processes are *reactive*: they act when a message is delivered to them
+or (for clients) when an operation is invoked.  Each reaction may send
+messages and update local state.  This matches every register protocol
+we implement (and the paper's model, where a fair execution interleaves
+exactly these channel/client/server actions).
+
+A process must be deep-copyable (plain-data state only) so Worlds can
+be forked, and must implement :meth:`state_digest` so the storage
+accountant can enumerate its reachable state space.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import World
+
+
+class ProcessContext:
+    """Capability handle a process uses during a reaction.
+
+    Wraps the World so process code can send messages and (clients)
+    complete operations, without holding a direct World reference in
+    its state (which would make digests and copies awkward).
+    """
+
+    def __init__(self, world: "World", pid: str) -> None:
+        self._world = world
+        self.pid = pid
+
+    @property
+    def step(self) -> int:
+        """Current action index."""
+        return self._world.step_count
+
+    def send(self, dst: str, message: Message) -> None:
+        """Enqueue a message on the channel ``self.pid -> dst``."""
+        self._world.enqueue_message(self.pid, dst, message)
+
+    def complete_operation(self, op_id: int, value: Optional[int] = None) -> None:
+        """Record the response of a pending client operation."""
+        self._world.complete_operation(self.pid, op_id, value)
+
+
+class Process:
+    """Base class for all simulated processes."""
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+        self.failed = False
+
+    def on_message(self, ctx: ProcessContext, src: str, message: Message) -> None:
+        """React to a delivered message.  Subclasses override."""
+        raise NotImplementedError
+
+    def state_digest(self) -> tuple:
+        """Canonical hashable representation of the local state.
+
+        Used by storage accounting (servers) and snapshot-equality
+        checks (everything).  Subclasses must include *all* mutable
+        state.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        status = " FAILED" if self.failed else ""
+        return f"{type(self).__name__}({self.pid}{status})"
+
+
+class ServerProcess(Process):
+    """Marker base class for servers (storage-cost accounting targets)."""
+
+
+class ClientProcess(Process):
+    """Base class for read/write clients.
+
+    Tracks at most one pending operation (the model requires every new
+    invocation at a client to wait for the previous response).
+    Subclasses implement :meth:`start_write` / :meth:`start_read` and
+    call :meth:`finish` when the protocol completes.
+    """
+
+    def __init__(self, pid: str) -> None:
+        super().__init__(pid)
+        self.pending_op_id: Optional[int] = None
+
+    # -- invocation hooks (called by World.invoke_*) -----------------------
+
+    def begin_operation(self, op_id: int) -> None:
+        """Mark an operation as pending (one at a time)."""
+        if self.pending_op_id is not None:
+            raise SimulationError(
+                f"client {self.pid} invoked op {op_id} while "
+                f"op {self.pending_op_id} is pending"
+            )
+        self.pending_op_id = op_id
+
+    def start_write(self, ctx: ProcessContext, op_id: int, value: int) -> None:
+        """Begin the write protocol.  Subclasses override."""
+        raise NotImplementedError
+
+    def start_read(self, ctx: ProcessContext, op_id: int) -> None:
+        """Begin the read protocol.  Subclasses override."""
+        raise NotImplementedError
+
+    def finish(self, ctx: ProcessContext, value: Optional[int] = None) -> None:
+        """Complete the pending operation (reads pass the returned value)."""
+        if self.pending_op_id is None:
+            raise SimulationError(f"client {self.pid} has no pending operation")
+        op_id = self.pending_op_id
+        self.pending_op_id = None
+        ctx.complete_operation(op_id, value)
+
+
+def require_payload(message: Message, key: str) -> Any:
+    """Fetch a required payload field, raising a clear error if missing."""
+    sentinel = object()
+    value = message.get(key, sentinel)
+    if value is sentinel:
+        raise SimulationError(
+            f"message {message!r} missing required field {key!r}"
+        )
+    return value

@@ -1,0 +1,84 @@
+"""Execution traces and conversion to consistency-checkable histories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.events import ActionRecord, OperationRecord
+from repro.sim.network import World
+
+
+@dataclass
+class ExecutionTrace:
+    """A finished (or in-progress) execution's observable behaviour.
+
+    Combines the action trace (the paper's sequence of points) with the
+    operation history (invocations/responses), plus convenience queries
+    used by the analysis layer.
+    """
+
+    actions: List[ActionRecord]
+    operations: List[OperationRecord]
+
+    @classmethod
+    def capture(cls, world: World) -> "ExecutionTrace":
+        """Snapshot the current trace/history of a World."""
+        return cls(list(world.trace), [op for op in world.operations])
+
+    # -- queries -----------------------------------------------------------
+
+    def completed_operations(self) -> List[OperationRecord]:
+        """Operations that responded."""
+        return [op for op in self.operations if op.is_complete]
+
+    def writes(self) -> List[OperationRecord]:
+        """All write operations."""
+        return [op for op in self.operations if op.kind == "write"]
+
+    def reads(self) -> List[OperationRecord]:
+        """All read operations."""
+        return [op for op in self.operations if op.kind == "read"]
+
+    def active_writes_at(self, step: int) -> int:
+        """Number of write operations active at point ``step``.
+
+        A write is active at P if invoked before P and not yet
+        responded at P (the paper's Section 2.3 definition).
+        """
+        count = 0
+        for op in self.writes():
+            if op.invoke_step <= step and (
+                op.response_step is None or op.response_step > step
+            ):
+                count += 1
+        return count
+
+    def max_active_writes(self) -> int:
+        """Supremum over points of the number of active writes."""
+        events = []
+        for op in self.writes():
+            events.append((op.invoke_step, 1))
+            if op.response_step is not None:
+                events.append((op.response_step, -1))
+        events.sort()
+        active = peak = 0
+        for _, delta in events:
+            active += delta
+            peak = max(peak, active)
+        return peak
+
+    def message_count(self) -> int:
+        """Total deliver actions (communication cost proxy)."""
+        return sum(1 for a in self.actions if a.kind == "deliver")
+
+    def last_step(self) -> int:
+        """Index of the final recorded action (0 if none)."""
+        return self.actions[-1].step if self.actions else 0
+
+    def operation_by_id(self, op_id: int) -> Optional[OperationRecord]:
+        """Look up an operation record."""
+        for op in self.operations:
+            if op.op_id == op_id:
+                return op
+        return None

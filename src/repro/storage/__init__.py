@@ -1,0 +1,28 @@
+"""Storage-cost measurement.
+
+Two complementary views of "storage cost":
+
+* :mod:`repro.storage.accounting` — *state-space* accounting: observe
+  server states across a family of executions and estimate
+  ``log2 |S_i|`` from the number of distinct states, which is the
+  quantity the paper's theorems bound (and a lower estimate of the
+  true cost, the right direction for validating lower bounds);
+* :mod:`repro.storage.costs` — *point-in-time* accounting: the number
+  of value-derived bits a server physically holds at a point (what the
+  upper-bound curves count).
+"""
+
+from repro.storage.accounting import StateSpaceAccountant, StorageReport
+from repro.storage.costs import (
+    peak_storage_during,
+    storage_snapshot,
+    StorageSnapshot,
+)
+
+__all__ = [
+    "StateSpaceAccountant",
+    "StorageReport",
+    "storage_snapshot",
+    "peak_storage_during",
+    "StorageSnapshot",
+]

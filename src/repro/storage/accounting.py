@@ -1,0 +1,102 @@
+"""State-space storage accounting.
+
+The paper defines the storage cost of server ``i`` as ``log2 |S_i|``
+where ``S_i`` is the set of states the server *can* take.  We estimate
+``S_i`` empirically: run a family of executions (all values, many
+schedules), record each server's state digest at every observed point,
+and count.  The estimate only grows toward the truth, so
+
+    sum_i log2 |observed S_i|  <=  TotalStorage(A)
+
+and any *lower* bound the theory puts on ``TotalStorage(A)`` must in
+particular not exceed... the observed value once the observation family
+is the one the proof constructs.  The executable-proof drivers in
+:mod:`repro.lowerbound` use exactly this accountant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set
+
+from repro.sim.network import World
+from repro.util.intmath import exact_log2
+
+
+@dataclass
+class StorageReport:
+    """Summary of observed per-server state counts."""
+
+    per_server_states: Dict[str, int]
+    observations: int
+
+    @property
+    def per_server_bits(self) -> Dict[str, float]:
+        """``log2`` of each server's observed state count."""
+        return {
+            pid: exact_log2(count) if count > 0 else 0.0
+            for pid, count in self.per_server_states.items()
+        }
+
+    @property
+    def total_bits(self) -> float:
+        """Observed lower estimate of ``TotalStorage`` in bits."""
+        return sum(self.per_server_bits.values())
+
+    @property
+    def max_bits(self) -> float:
+        """Observed lower estimate of ``MaxStorage`` in bits."""
+        bits = self.per_server_bits
+        return max(bits.values()) if bits else 0.0
+
+    def total_bits_over(self, server_ids: Sequence[str]) -> float:
+        """Observed total over a subset of servers (theorem LHS forms)."""
+        bits = self.per_server_bits
+        return sum(bits[pid] for pid in server_ids)
+
+
+class StateSpaceAccountant:
+    """Accumulates distinct per-server states across executions."""
+
+    def __init__(self, server_ids: Optional[Sequence[str]] = None) -> None:
+        self._server_ids = list(server_ids) if server_ids else None
+        self._states: Dict[str, Set[tuple]] = {}
+        self._observations = 0
+
+    def observe_world(self, world: World) -> None:
+        """Record the current state of every tracked server in ``world``."""
+        servers = (
+            [world.process(pid) for pid in self._server_ids]
+            if self._server_ids
+            else world.servers()
+        )
+        for server in servers:
+            self._states.setdefault(server.pid, set()).add(
+                server.state_digest()
+            )
+        self._observations += 1
+
+    def observe_digests(self, digests: Dict[str, tuple]) -> None:
+        """Record externally captured ``{server_id: digest}`` states."""
+        for pid, digest in digests.items():
+            self._states.setdefault(pid, set()).add(digest)
+        self._observations += 1
+
+    def distinct_states(self, pid: str) -> int:
+        """Observed distinct state count for one server."""
+        return len(self._states.get(pid, ()))
+
+    def report(self) -> StorageReport:
+        """Freeze the current counts into a report."""
+        return StorageReport(
+            per_server_states={
+                pid: len(states) for pid, states in sorted(self._states.items())
+            },
+            observations=self._observations,
+        )
+
+    def merge(self, other: "StateSpaceAccountant") -> None:
+        """Union another accountant's observations into this one."""
+        for pid, states in other._states.items():
+            self._states.setdefault(pid, set()).update(states)
+        self._observations += other._observations

@@ -1,0 +1,87 @@
+"""Point-in-time storage measurement for the upper-bound experiments.
+
+Each server class exposes ``storage_bits(count_metadata)``; these
+helpers snapshot and track the peak of that quantity while a workload
+runs — giving the measured versions of the paper's upper-bound curves
+(``f+1`` for replication, ``ν·N/(N-f)`` for erasure coding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.registers.base import SystemHandle
+
+
+@dataclass(frozen=True)
+class StorageSnapshot:
+    """Per-server and aggregate stored bits at one point."""
+
+    per_server_bits: tuple
+    step: int
+
+    @property
+    def total_bits(self) -> float:
+        """Sum over servers."""
+        return sum(self.per_server_bits)
+
+    @property
+    def max_bits(self) -> float:
+        """Largest single server."""
+        return max(self.per_server_bits)
+
+    def normalized_total(self, value_bits: int) -> float:
+        """Total divided by ``log2 |V|`` (the paper's y-axis)."""
+        return self.total_bits / value_bits
+
+    def normalized_max(self, value_bits: int) -> float:
+        """Max divided by ``log2 |V|``."""
+        return self.max_bits / value_bits
+
+
+def storage_snapshot(
+    handle: SystemHandle, count_metadata: bool = False
+) -> StorageSnapshot:
+    """Snapshot stored bits right now."""
+    return StorageSnapshot(
+        per_server_bits=tuple(handle.server_storage_bits(count_metadata)),
+        step=handle.world.step_count,
+    )
+
+
+def peak_storage_during(
+    handle: SystemHandle,
+    drive: Callable[[SystemHandle], None],
+    count_metadata: bool = False,
+    sample_every: int = 1,
+    max_steps: int = 200_000,
+) -> StorageSnapshot:
+    """Run ``drive`` while sampling storage after every simulator step.
+
+    ``drive`` performs invocations and *must not* step the world to
+    completion itself; instead it should invoke operations and return.
+    This helper then steps the world until quiescence (all pending
+    operations complete and channels drain), sampling stored bits every
+    ``sample_every`` steps, and returns the peak-total snapshot.
+    """
+    drive(handle)
+    world = handle.world
+    peak = storage_snapshot(handle, count_metadata)
+    steps = 0
+    while world.pending_operations() or world.enabled_channels():
+        if world.step() is None:
+            break
+        steps += 1
+        if steps % sample_every == 0:
+            snap = storage_snapshot(handle, count_metadata)
+            if snap.total_bits > peak.total_bits:
+                peak = snap
+        if steps > max_steps:
+            raise RuntimeError(
+                f"workload did not quiesce within {max_steps} steps"
+            )
+    final = storage_snapshot(handle, count_metadata)
+    if final.total_bits > peak.total_bits:
+        peak = final
+    return peak

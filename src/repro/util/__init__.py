@@ -1,0 +1,24 @@
+"""Small shared utilities: exact integer math, text tables, seeded RNG."""
+
+from repro.util.intmath import (
+    binomial,
+    ceil_div,
+    exact_log2,
+    is_power_of_two,
+    log2_binomial,
+    log2_factorial,
+)
+from repro.util.tables import format_table
+from repro.util.rng import derive_seed, SeededRNG
+
+__all__ = [
+    "binomial",
+    "ceil_div",
+    "exact_log2",
+    "is_power_of_two",
+    "log2_binomial",
+    "log2_factorial",
+    "format_table",
+    "derive_seed",
+    "SeededRNG",
+]

@@ -1,0 +1,66 @@
+"""Exact integer / logarithm helpers used by the bound formulas.
+
+The paper's finite-``|V|`` bounds mix ``log2`` of potentially huge
+integers (``|V|`` itself, binomial coefficients ``C(|V|-1, v*)``) with
+small correction terms.  Python floats lose precision once the argument
+exceeds 2**53, so everything here routes through :func:`math.log2` on
+integers only after reducing magnitude, or uses ``int.bit_length`` based
+exact paths where available.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import BoundError
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for positive ``b``."""
+    if b <= 0:
+        raise BoundError(f"ceil_div requires positive divisor, got {b}")
+    return -(-a // b)
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def exact_log2(n: int) -> float:
+    """``log2(n)`` for a positive integer, accurate for huge ``n``.
+
+    Uses the identity ``log2(n) = bit_length - 1 + log2(n / 2**(bl-1))``
+    so the float conversion only ever sees a value in ``[1, 2)``.
+    """
+    if n <= 0:
+        raise BoundError(f"log2 requires a positive integer, got {n}")
+    bl = n.bit_length() - 1
+    # n / 2**bl is in [1, 2); compute it without losing the low bits
+    # that matter: shift n down so the mantissa fits a float exactly.
+    if bl <= 52:
+        return math.log2(n)
+    shifted = n >> (bl - 52)
+    return (bl - 52) + math.log2(shifted)
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient ``C(n, k)`` (0 when out of range)."""
+    if k < 0 or n < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def log2_binomial(n: int, k: int) -> float:
+    """``log2 C(n, k)``; raises :class:`BoundError` if the coefficient is 0."""
+    c = binomial(n, k)
+    if c == 0:
+        raise BoundError(f"C({n}, {k}) is zero; log2 undefined")
+    return exact_log2(c)
+
+
+def log2_factorial(n: int) -> float:
+    """``log2(n!)`` computed exactly via the integer factorial."""
+    if n < 0:
+        raise BoundError(f"factorial requires n >= 0, got {n}")
+    return exact_log2(math.factorial(n)) if n > 1 else 0.0

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark scripts print the same rows/series the paper reports;
+this module keeps that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = ".4f",
+    indent: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with ``float_fmt``; all other values via ``str``.
+    Returns the table as a single string (no trailing newline).
+    """
+    rendered = [[_cell(v, float_fmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return indent + "  ".join(
+            cell.rjust(widths[i]) for i, cell in enumerate(cells)
+        )
+
+    lines = [fmt_row(list(headers)), indent + "  ".join("-" * w for w in widths)]
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Exhaustive schedule exploration (bounded model checking).
+
+Starting from a World with operations already invoked, the explorer
+branches on every enabled delivery action, deduplicates states by a
+full-configuration digest (processes, channels, and operation
+records — two states with equal digests behave identically forever,
+because the simulator is deterministic given the action sequence), and
+collects every *maximal* execution (no enabled actions left).  Each
+terminal history is passed to a checker; any violation is reported
+with the delivery schedule that produced it, giving a replayable
+counterexample.
+
+Complexity is the number of distinct interleaving states, so keep
+configurations tiny (3 servers, 2-3 operations).  ``max_states`` is a
+hard cap; hitting it marks the result ``exhausted=False`` (the
+explored prefix is still sound evidence — no violation found in it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.consistency.atomicity import check_atomicity
+from repro.errors import ReproError
+from repro.sim.network import World
+from repro.sim.snapshot import world_digest
+
+ChannelKey = Tuple[str, str]
+HistoryChecker = Callable[[list], bool]
+
+
+class ExplorationBudgetExceeded(ReproError):
+    """Raised internally when ``max_states`` is hit (caught by driver)."""
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of an exhaustive schedule exploration."""
+
+    states_visited: int
+    executions_checked: int
+    exhausted: bool  # True iff the full interleaving space was covered
+    violations: List[Tuple[Tuple[ChannelKey, ...], list]] = field(
+        default_factory=list
+    )
+    incomplete_terminals: int = 0  # quiesced with operations still pending
+
+    @property
+    def ok(self) -> bool:
+        """No violating execution found."""
+        return not self.violations
+
+
+def _full_digest(world: World) -> tuple:
+    ops = tuple(
+        (op.op_id, op.kind, op.value, op.invoke_step, op.response_step)
+        for op in world.operations
+    )
+    return (world_digest(world), ops)
+
+
+class ScheduleExplorer:
+    """Depth-first exhaustive exploration with digest deduplication.
+
+    ``followups`` supports *sequential* operations (the ingredient a
+    new/old inversion needs): each entry ``(trigger_op_id, invoke)``
+    calls ``invoke(world)`` deterministically as soon as the trigger
+    operation has completed — invocation timing adds no branching, only
+    delivery order does.
+
+    ``stop_at_first_violation`` turns the explorer into a
+    counterexample finder: DFS returns as soon as one violating
+    terminal execution is recorded.
+    """
+
+    def __init__(
+        self,
+        checker: Optional[HistoryChecker] = None,
+        max_states: int = 200_000,
+        max_depth: int = 400,
+        require_completion: bool = True,
+        followups: Optional[Sequence[Tuple[int, Callable[[World], None]]]] = None,
+        stop_at_first_violation: bool = False,
+    ) -> None:
+        self.checker = checker or (lambda ops: check_atomicity(ops).ok)
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.require_completion = require_completion
+        self.followups = list(followups or [])
+        self.stop_at_first_violation = stop_at_first_violation
+
+    def _fire_followups(self, state: World, base_ops: int) -> None:
+        for i, (trigger, invoke) in enumerate(self.followups):
+            expected_ops = base_ops + i
+            if len(state.operations) > expected_ops:
+                continue  # already fired in this state's history
+            trigger_op = state.operations[trigger]
+            if trigger_op.is_complete:
+                invoke(state)
+            else:
+                break  # followups fire in order
+
+    def explore(self, world: World) -> ExplorationResult:
+        """Explore every schedule from the World's current point."""
+        result = ExplorationResult(
+            states_visited=0, executions_checked=0, exhausted=True
+        )
+        visited: set = set()
+
+        # Tracing costs memory per fork and the schedule path already
+        # identifies executions; turn it off for the search.
+        world = world.fork()
+        world.record_trace = False
+        base_ops = len(world.operations)
+
+        class _FoundViolation(Exception):
+            pass
+
+        def visit(state: World, path: Tuple[ChannelKey, ...]) -> None:
+            self._fire_followups(state, base_ops)
+            key = _full_digest(state)
+            if key in visited:
+                return
+            visited.add(key)
+            result.states_visited += 1
+            if result.states_visited > self.max_states:
+                raise ExplorationBudgetExceeded()
+            if len(path) > self.max_depth:
+                raise ExplorationBudgetExceeded()
+
+            enabled = state.enabled_channels()
+            if not enabled:
+                result.executions_checked += 1
+                pending = state.pending_operations()
+                if pending and self.require_completion:
+                    result.incomplete_terminals += 1
+                if not self.checker(list(state.operations)):
+                    result.violations.append(
+                        (path, list(state.operations))
+                    )
+                    if self.stop_at_first_violation:
+                        raise _FoundViolation()
+                return
+            for key_choice in enabled:
+                child = state.fork()
+                child.deliver(*key_choice)
+                visit(child, path + (key_choice,))
+
+        try:
+            visit(world, ())
+        except ExplorationBudgetExceeded:
+            result.exhausted = False
+        except _FoundViolation:
+            result.exhausted = False
+        return result
+
+
+def explore_all_schedules(
+    build_and_invoke: Callable[[], World],
+    checker: Optional[HistoryChecker] = None,
+    max_states: int = 200_000,
+) -> ExplorationResult:
+    """Convenience driver: build a World with invocations, explore it.
+
+    ``build_and_invoke`` returns a fresh World with every operation
+    already invoked (concurrent from the start — the interesting case
+    for consistency).
+    """
+    explorer = ScheduleExplorer(checker=checker, max_states=max_states)
+    return explorer.explore(build_and_invoke())
+
+
+def replay_schedule(
+    build_and_invoke: Callable[[], World], path: Sequence[ChannelKey]
+) -> World:
+    """Re-execute a violating schedule for debugging."""
+    world = build_and_invoke()
+    for src, dst in path:
+        world.deliver(src, dst)
+    return world

@@ -1,0 +1,21 @@
+"""Workload generation: operation schedules driven against a system."""
+
+from repro.workload.generator import (
+    run_random_workload,
+    run_sequential_workload,
+    WorkloadResult,
+)
+from repro.workload.patterns import (
+    concurrent_writes_driver,
+    measure_peak_storage_with_nu_writes,
+    staggered_writes_driver,
+)
+
+__all__ = [
+    "WorkloadResult",
+    "run_sequential_workload",
+    "run_random_workload",
+    "concurrent_writes_driver",
+    "staggered_writes_driver",
+    "measure_peak_storage_with_nu_writes",
+]

@@ -1,0 +1,99 @@
+"""Fault-injection workloads: crashes during operations.
+
+Safety must hold *regardless* of failures; liveness is promised only
+while server failures stay within ``f``.  These drivers crash servers
+at random mid-workload points (never exceeding the budget) and return
+histories for the consistency checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.consistency.history import History
+from repro.errors import OperationIncompleteError
+from repro.registers.base import SystemHandle
+from repro.util.rng import SeededRNG
+
+
+@dataclass
+class FaultyWorkloadResult:
+    """Outcome of a crash-injected workload."""
+
+    history: History
+    crashed_servers: List[str]
+    steps: int
+
+
+def run_crashy_workload(
+    handle: SystemHandle,
+    num_ops: int,
+    seed: int = 0,
+    crash_probability: float = 0.01,
+    read_fraction: float = 0.5,
+    max_steps: int = 500_000,
+) -> FaultyWorkloadResult:
+    """Random workload with random server crashes within the ``f`` budget.
+
+    At each tick: maybe crash a random surviving server (while the
+    crash budget lasts), else deliver or invoke like the random
+    workload.  All invoked operations are driven to completion — which
+    the algorithm must deliver, since crashes never exceed ``f``.
+    Deterministic per seed.
+    """
+    rng = SeededRNG(seed, "faulty-workload")
+    world = handle.world
+    steps_before = world.step_count
+    crashed: List[str] = []
+    invoked = 0
+    ticks = 0
+
+    def idle(pids):
+        return [
+            pid for pid in pids
+            if world.process(pid).pending_op_id is None  # type: ignore[attr-defined]
+            and not world.process(pid).failed
+        ]
+
+    while invoked < num_ops or world.pending_operations():
+        ticks += 1
+        if ticks > max_steps:
+            raise OperationIncompleteError(
+                f"faulty workload stalled after {max_steps} ticks "
+                f"(crashed={crashed})"
+            )
+        if (
+            len(crashed) < handle.f
+            and rng.random() < crash_probability
+        ):
+            victims = [
+                pid for pid in handle.server_ids
+                if not world.process(pid).failed
+            ]
+            victim = rng.choice(victims)
+            world.crash(victim)
+            crashed.append(victim)
+            continue
+        roll = rng.random()
+        if invoked < num_ops and roll > 0.7:
+            do_read = rng.random() < read_fraction
+            pool = idle(handle.reader_ids if do_read else handle.writer_ids)
+            if pool:
+                if do_read:
+                    world.invoke_read(rng.choice(pool))
+                else:
+                    world.invoke_write(
+                        rng.choice(pool),
+                        rng.randint(0, handle.value_space_size - 1),
+                    )
+                invoked += 1
+                continue
+        if world.step() is None and invoked >= num_ops:
+            break
+
+    return FaultyWorkloadResult(
+        history=History.from_world(world),
+        crashed_servers=crashed,
+        steps=world.step_count - steps_before,
+    )

@@ -1,0 +1,84 @@
+"""Canonical workload patterns for the storage-cost experiments.
+
+The central one is the *ν-active-writes* pattern behind Figure 1's
+x-axis: invoke ``ν`` writes at ``ν`` distinct writers so that all are
+simultaneously active, then let the system run and track the peak
+storage while the coded elements pile up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.registers.base import SystemHandle
+from repro.storage.costs import StorageSnapshot, peak_storage_during
+
+
+def concurrent_writes_driver(
+    values: Sequence[int],
+) -> Callable[[SystemHandle], None]:
+    """Driver invoking ``len(values)`` writes at distinct writers at once.
+
+    For use with :func:`repro.storage.costs.peak_storage_during`: all
+    writes become active before a single message is delivered, so the
+    execution reaches a point with ``ν = len(values)`` active writes.
+    """
+
+    def drive(handle: SystemHandle) -> None:
+        if len(values) > len(handle.writer_ids):
+            raise ConfigurationError(
+                f"need {len(values)} writers, system has "
+                f"{len(handle.writer_ids)}"
+            )
+        for value, writer in zip(values, handle.writer_ids):
+            handle.world.invoke_write(writer, value)
+
+    return drive
+
+
+def staggered_writes_driver(
+    values: Sequence[int],
+    steps_between: int = 3,
+) -> Callable[[SystemHandle], None]:
+    """Driver invoking writes a few delivery steps apart.
+
+    Produces overlapping-but-staggered write intervals, a softer
+    concurrency profile than the all-at-once driver.
+    """
+
+    def drive(handle: SystemHandle) -> None:
+        if len(values) > len(handle.writer_ids):
+            raise ConfigurationError(
+                f"need {len(values)} writers, system has "
+                f"{len(handle.writer_ids)}"
+            )
+        for value, writer in zip(values, handle.writer_ids):
+            handle.world.invoke_write(writer, value)
+            for _ in range(steps_between):
+                if handle.world.step() is None:
+                    break
+
+    return drive
+
+
+def measure_peak_storage_with_nu_writes(
+    build: Callable[[int], SystemHandle],
+    nu: int,
+    values: Optional[Sequence[int]] = None,
+    count_metadata: bool = False,
+) -> StorageSnapshot:
+    """Peak storage of a fresh system while ``nu`` writes are in flight.
+
+    ``build(nu)`` must return a fresh system with at least ``nu``
+    writers.  Returns the peak :class:`StorageSnapshot` observed from
+    invocation until quiescence.
+    """
+    handle = build(nu)
+    if values is None:
+        values = [(i + 1) % handle.value_space_size for i in range(nu)]
+    return peak_storage_during(
+        handle,
+        concurrent_writes_driver(list(values)[:nu]),
+        count_metadata=count_metadata,
+    )

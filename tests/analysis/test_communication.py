@@ -1,0 +1,76 @@
+"""Tests for communication-cost accounting."""
+
+from repro.analysis.communication import (
+    CommunicationCost,
+    communication_table,
+    measure_operation_costs,
+    message_value_bits,
+)
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.registers.coded_swmr import build_coded_swmr_system
+from repro.sim.events import Message
+
+
+class TestMessageValueBits:
+    def test_value_field(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8)
+        m = Message.make("put", tag=(1, "w"), value=5, ref=("w", 1))
+        assert message_value_bits(m, handle) == 8.0
+
+    def test_ack_is_metadata_only(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8)
+        assert message_value_bits(Message.make("put-ack", ref=0), handle) == 0.0
+
+    def test_elem_field_charged_symbol_width(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        m = Message.make("pre", tag=(1, "w"), elem=3, ref=0)
+        assert message_value_bits(m, handle) == handle.params["symbol_bits"]
+
+    def test_versions_field(self):
+        handle = build_coded_swmr_system(n=5, f=1, value_bits=12)
+        m = Message.make("cget-ack", ref=0, versions=(((0, ""), 1), ((1, "w"), 2)))
+        assert message_value_bits(m, handle) == 2 * handle.params["symbol_bits"]
+
+
+class TestMeasuredCosts:
+    def test_abd_write_messages(self):
+        """ABD write: N gets + N get-acks + N puts + N put-acks = 4N."""
+        handle = build_abd_system(n=5, f=2, value_bits=8)
+        costs = measure_operation_costs(handle)
+        assert costs["write"].messages == 20
+        # value bits: N puts + N get-acks, each carrying the full value
+        assert costs["write"].value_bits == 2 * 5 * 8
+
+    def test_cas_write_fewer_value_bits(self):
+        """CAS ships one symbol per server — less wire data than ABD."""
+        n, vb = 5, 12
+        abd = build_abd_system(n=n, f=1, value_bits=vb)
+        cas = build_cas_system(n=n, f=1, value_bits=vb)
+        abd_cost = measure_operation_costs(abd)["write"]
+        cas_cost = measure_operation_costs(cas)["write"]
+        assert cas_cost.value_bits < abd_cost.value_bits
+        # but CAS needs one more round trip (3 phases vs 2)
+        assert cas_cost.messages > abd_cost.messages
+
+    def test_read_costs_present(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8)
+        costs = measure_operation_costs(handle)
+        assert costs["read"].operation == "read"
+        assert costs["read"].messages > 0
+
+    def test_normalized(self):
+        cost = CommunicationCost("write", 10, 40.0, 960.0)
+        assert cost.normalized_bits(8) == 5.0
+
+
+class TestTable:
+    def test_rows_for_every_system_and_op(self):
+        systems = {
+            "abd": build_abd_system(n=3, f=1, value_bits=8),
+            "cas": build_cas_system(n=5, f=1, value_bits=12),
+        }
+        rows = communication_table(systems)
+        assert len(rows) == 4
+        assert {r[0] for r in rows} == {"abd", "cas"}
+        assert {r[1] for r in rows} == {"write", "read"}

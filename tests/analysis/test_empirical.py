@@ -1,0 +1,41 @@
+"""Tests for the measured-Figure-1 machinery (small parameters)."""
+
+from repro.analysis.empirical import (
+    empirical_figure1,
+    measured_abd_peak,
+    measured_cas_peak,
+)
+
+
+class TestMeasuredPeaks:
+    def test_abd_peak_is_n(self):
+        assert measured_abd_peak(n=5, f=2, nu=1) == 5.0
+        assert measured_abd_peak(n=5, f=2, nu=3) == 5.0
+
+    def test_cas_peak_grows(self):
+        p1 = measured_cas_peak(n=5, f=2, nu=1)
+        p2 = measured_cas_peak(n=5, f=2, nu=2)
+        assert p2 > p1
+
+    def test_cas_slope_matches_formula(self):
+        n, f = 5, 2
+        p1 = measured_cas_peak(n, f, 1)
+        p3 = measured_cas_peak(n, f, 3)
+        slope = (p3 - p1) / 2
+        assert abs(slope - n / (n - f)) < 0.05
+
+
+class TestSeries:
+    def test_keys_and_lengths(self):
+        series = empirical_figure1(n=5, f=2, nus=(1, 2))
+        assert set(series) == {
+            "nu", "theorem51", "theorem65", "abd_formula", "ec_formula",
+            "measured_abd", "measured_cas",
+        }
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_measured_respects_bounds(self):
+        series = empirical_figure1(n=5, f=2, nus=(1, 2))
+        for i in range(2):
+            assert series["measured_abd"][i] >= series["theorem51"][i]
+            assert series["measured_cas"][i] >= series["theorem65"][i]

@@ -1,0 +1,74 @@
+"""Tests for the Figure 1 series — the paper's headline numbers."""
+
+from repro.analysis.figure1 import (
+    FIGURE1_F,
+    FIGURE1_HEADERS,
+    FIGURE1_N,
+    figure1_rows,
+    figure1_series,
+)
+
+
+class TestPaperValues:
+    """Exact values readable off the paper's Figure 1 (N=21, f=10)."""
+
+    def test_parameters(self):
+        assert (FIGURE1_N, FIGURE1_F) == (21, 10)
+
+    def test_theorem_b1_flat_at_21_over_11(self):
+        series = figure1_series()
+        assert all(abs(v - 21 / 11) < 1e-12 for v in series["theorem_b1"])
+
+    def test_theorem51_flat_at_42_over_13(self):
+        series = figure1_series()
+        assert all(abs(v - 42 / 13) < 1e-12 for v in series["theorem51"])
+
+    def test_abd_flat_at_11(self):
+        series = figure1_series()
+        assert all(v == 11.0 for v in series["abd_upper"])
+
+    def test_theorem65_saturates_at_11(self):
+        series = figure1_series()
+        t65 = series["theorem65"]
+        assert t65[0] == 21 / 11  # nu=1
+        assert t65[-1] == 11.0  # saturated
+        assert t65 == sorted(t65)
+
+    def test_ec_linear(self):
+        series = figure1_series()
+        ec = series["erasure_coding_upper"]
+        diffs = {round(b - a, 9) for a, b in zip(ec, ec[1:])}
+        assert diffs == {round(21 / 11, 9)}
+
+    def test_theorem65_below_ec_upper(self):
+        """The restricted lower bound never exceeds the achieved cost."""
+        series = figure1_series()
+        for lo, hi in zip(series["theorem65"], series["erasure_coding_upper"]):
+            assert lo <= hi + 1e-9
+
+    def test_crossover_visible(self):
+        """EC beats ABD for nu <= 5 and loses from nu = 6 on."""
+        series = figure1_series()
+        ec, abd = series["erasure_coding_upper"], series["abd_upper"]
+        nus = [int(nu) for nu in series["nu"]]
+        for nu, e, a in zip(nus, ec, abd):
+            if nu <= 5:
+                assert e < a
+            else:
+                assert e >= a
+
+
+class TestShape:
+    def test_rows_match_headers(self):
+        rows = figure1_rows()
+        assert all(len(row) == len(FIGURE1_HEADERS) for row in rows)
+
+    def test_custom_parameters(self):
+        series = figure1_series(n=9, f=2, nu_max=4)
+        assert len(series["nu"]) == 4
+        assert abs(series["theorem_b1"][0] - 9 / 7) < 1e-12
+
+    def test_series_lengths_consistent(self):
+        series = figure1_series()
+        lengths = {len(v) for v in series.values()}
+        assert len(lengths) == 1

@@ -1,0 +1,39 @@
+"""Tests for ASCII rendering."""
+
+from repro.analysis.report import ascii_line_plot, render_series_table
+
+
+class TestPlot:
+    def test_contains_all_glyph_legends(self):
+        out = ascii_line_plot([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "o = a" in out
+        assert "x = b" in out
+
+    def test_title_and_ranges(self):
+        out = ascii_line_plot([0, 10], {"s": [5.0, 7.5]}, title="T")
+        assert out.startswith("T")
+        assert "[5.00 .. 7.50]" in out
+        assert "[0.00 .. 10.00]" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_line_plot([1, 2], {"s": [3.0, 3.0]})
+        assert "o" in out
+
+    def test_empty_inputs(self):
+        assert ascii_line_plot([], {}) == "(empty plot)"
+
+    def test_dimensions(self):
+        out = ascii_line_plot([1, 2], {"s": [1, 2]}, width=30, height=5)
+        body = [line for line in out.splitlines() if line.startswith("|")]
+        assert len(body) == 5
+        assert all(len(line) == 32 for line in body)
+
+
+class TestSeriesTable:
+    def test_headers(self):
+        out = render_series_table([1, 2], {"a": [1.0, 2.0]}, x_header="nu")
+        assert out.splitlines()[0].strip().startswith("nu")
+
+    def test_values_present(self):
+        out = render_series_table([1], {"a": [3.5]})
+        assert "3.5000" in out

@@ -1,0 +1,51 @@
+"""Tests for state-space growth analysis."""
+
+from repro.analysis.statespace import growth_rate, statespace_growth
+from repro.registers.abd_swmr import build_swmr_abd_system
+
+
+def swmr(n, f, vb):
+    return build_swmr_abd_system(n=n, f=f, value_bits=vb)
+
+
+class TestGrowth:
+    def test_rows_shape(self):
+        rows = statespace_growth(swmr, n=5, f=2, value_bits_range=[1, 2],
+                                 algorithm="swmr-abd")
+        assert len(rows) == 2
+        assert {"value_bits", "observed_sum_bits", "singleton_rhs",
+                "theorem51_rhs", "injective", "theorem41_rhs"} <= set(rows[0])
+
+    def test_f_one_omits_theorem41(self):
+        rows = statespace_growth(swmr, n=3, f=1, value_bits_range=[1])
+        assert "theorem41_rhs" not in rows[0]
+
+    def test_observed_clears_rhs(self):
+        rows = statespace_growth(swmr, n=5, f=2, value_bits_range=[1, 2, 3])
+        for row in rows:
+            assert row["observed_sum_bits"] >= row["singleton_rhs"]
+            assert row["injective"] == 1.0
+
+    def test_replication_slope_is_survivor_count(self):
+        rows = statespace_growth(swmr, n=5, f=2, value_bits_range=[1, 2, 3, 4])
+        assert abs(growth_rate(rows) - 3.0) < 1e-9
+
+
+class TestGrowthRate:
+    def test_perfect_line(self):
+        rows = [
+            {"value_bits": 1.0, "observed_sum_bits": 2.0},
+            {"value_bits": 2.0, "observed_sum_bits": 4.0},
+            {"value_bits": 3.0, "observed_sum_bits": 6.0},
+        ]
+        assert abs(growth_rate(rows) - 2.0) < 1e-12
+
+    def test_single_point(self):
+        assert growth_rate([{"value_bits": 1.0, "observed_sum_bits": 2.0}]) == 0.0
+
+    def test_flat(self):
+        rows = [
+            {"value_bits": 1.0, "observed_sum_bits": 5.0},
+            {"value_bits": 2.0, "observed_sum_bits": 5.0},
+        ]
+        assert growth_rate(rows) == 0.0

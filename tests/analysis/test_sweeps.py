@@ -1,0 +1,64 @@
+"""Tests for parameter sweeps."""
+
+from repro.analysis.sweeps import (
+    sweep_finite_v_convergence,
+    sweep_improvement_ratio,
+    sweep_proportional_f,
+)
+
+
+class TestImprovementRatio:
+    def test_ratio_grows_toward_two(self):
+        rows = sweep_improvement_ratio(5, [10, 50, 500, 5000])
+        ratios = [r["ratio41"] for r in rows]
+        assert ratios == sorted(ratios)
+        assert abs(ratios[-1] - 2.0) < 0.01
+
+    def test_51_ratio_below_41_ratio(self):
+        rows = sweep_improvement_ratio(5, [20, 100])
+        for r in rows:
+            assert r["ratio51"] <= r["ratio41"]
+
+    def test_row_fields(self):
+        rows = sweep_improvement_ratio(3, [10])
+        assert set(rows[0]) == {
+            "n", "singleton", "theorem41", "theorem51", "ratio41", "ratio51",
+        }
+
+
+class TestFiniteVConvergence:
+    def test_exact_below_limit(self):
+        rows = sweep_finite_v_convergence(21, 10, [8, 16, 64, 256])
+        for r in rows:
+            assert r["theorem41_exact"] <= r["theorem41_limit"] + 1e-9
+            assert r["theorem51_exact"] <= r["theorem51_limit"] + 1e-9
+
+    def test_convergence_monotone(self):
+        rows = sweep_finite_v_convergence(21, 10, [8, 16, 64, 256, 1024])
+        exact = [r["theorem41_exact"] for r in rows]
+        assert exact == sorted(exact)
+
+    def test_large_v_close_to_limit(self):
+        rows = sweep_finite_v_convergence(21, 10, [4096])
+        r = rows[0]
+        assert r["theorem41_limit"] - r["theorem41_exact"] < 0.01
+
+
+class TestProportionalF:
+    def test_bound_is_o_of_f(self):
+        """With f ~ N/2 the universal bound stays O(1) while f grows."""
+        rows = sweep_proportional_f([10, 40, 160, 640], f_fraction=0.5)
+        over_f = [r["bound_over_f"] for r in rows]
+        assert over_f == sorted(over_f, reverse=True)
+        assert over_f[-1] < 0.05
+
+    def test_abd_tracks_f(self):
+        rows = sweep_proportional_f([10, 100], f_fraction=0.5)
+        for r in rows:
+            assert r["abd_upper"] == r["f"] + 1
+
+    def test_universal_bound_near_constant(self):
+        rows = sweep_proportional_f([100, 1000], f_fraction=0.5)
+        # 2N/(N/2 + 2) -> 4
+        for r in rows:
+            assert 3.5 < r["theorem51"] < 4.0

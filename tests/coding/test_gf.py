@@ -1,0 +1,191 @@
+"""Field-axiom and table-correctness tests for GF(2^m)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.gf import GF2m, GF2mElement
+from repro.errors import FieldError
+
+F8 = GF2m.get(8)
+F4 = GF2m.get(4)
+
+elem8 = st.integers(min_value=0, max_value=255)
+nonzero8 = st.integers(min_value=1, max_value=255)
+
+
+class TestConstruction:
+    def test_cached(self):
+        assert GF2m.get(8) is GF2m.get(8)
+
+    def test_order(self):
+        assert F8.order == 256
+        assert F4.order == 16
+
+    def test_unknown_m_rejected(self):
+        with pytest.raises(FieldError):
+            GF2m.get(25)
+
+    def test_bad_poly_degree_rejected(self):
+        with pytest.raises(FieldError):
+            GF2m(4, 0b111)  # degree 2 poly for m=4
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive
+        with pytest.raises(FieldError):
+            GF2m(4, 0b11111)
+
+    def test_all_supported_fields_build(self):
+        for m in range(1, 17):
+            field = GF2m.get(m)
+            assert field.order == 1 << m
+
+    def test_equality_and_hash(self):
+        assert GF2m.get(8) == GF2m.get(8)
+        assert GF2m.get(8) != GF2m.get(4)
+        assert hash(GF2m.get(8)) == hash(GF2m.get(8))
+
+    def test_deepcopy_is_identity(self):
+        import copy
+
+        assert copy.deepcopy(F8) is F8
+
+
+class TestAxioms:
+    @given(elem8, elem8)
+    def test_add_commutative(self, a, b):
+        assert F8.add(a, b) == F8.add(b, a)
+
+    @given(elem8, elem8)
+    def test_mul_commutative(self, a, b):
+        assert F8.mul(a, b) == F8.mul(b, a)
+
+    @given(elem8, elem8, elem8)
+    def test_mul_associative(self, a, b, c):
+        assert F8.mul(F8.mul(a, b), c) == F8.mul(a, F8.mul(b, c))
+
+    @given(elem8, elem8, elem8)
+    def test_distributive(self, a, b, c):
+        assert F8.mul(a, F8.add(b, c)) == F8.add(F8.mul(a, b), F8.mul(a, c))
+
+    @given(elem8)
+    def test_additive_identity(self, a):
+        assert F8.add(a, 0) == a
+
+    @given(elem8)
+    def test_multiplicative_identity(self, a):
+        assert F8.mul(a, 1) == a
+
+    @given(elem8)
+    def test_characteristic_two(self, a):
+        assert F8.add(a, a) == 0
+
+    @given(nonzero8)
+    def test_inverse(self, a):
+        assert F8.mul(a, F8.inv(a)) == 1
+
+    @given(nonzero8, nonzero8)
+    def test_div_inverts_mul(self, a, b):
+        assert F8.div(F8.mul(a, b), b) == a
+
+    @given(elem8)
+    def test_mul_by_zero(self, a):
+        assert F8.mul(a, 0) == 0
+
+
+class TestPow:
+    @given(nonzero8, st.integers(min_value=0, max_value=20))
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(e):
+            expected = F8.mul(expected, a)
+        assert F8.pow(a, e) == expected
+
+    @given(nonzero8)
+    def test_fermat(self, a):
+        assert F8.pow(a, F8.order - 1) == 1
+
+    def test_zero_pow(self):
+        assert F8.pow(0, 5) == 0
+        assert F8.pow(0, 0) == 1
+
+    def test_zero_negative_pow_rejected(self):
+        with pytest.raises(FieldError):
+            F8.pow(0, -1)
+
+    @given(nonzero8)
+    def test_negative_pow(self, a):
+        assert F8.mul(F8.pow(a, -1), a) == 1
+
+
+class TestErrors:
+    def test_inv_zero(self):
+        with pytest.raises(FieldError):
+            F8.inv(0)
+
+    def test_div_by_zero(self):
+        with pytest.raises(FieldError):
+            F8.div(5, 0)
+
+    def test_validate_range(self):
+        with pytest.raises(FieldError):
+            F8.validate(256)
+        with pytest.raises(FieldError):
+            F8.validate(-1)
+
+
+class TestElementWrapper:
+    def test_operator_arithmetic(self):
+        a = F4.element(3)
+        b = F4.element(7)
+        assert (a + b).value == F4.add(3, 7)
+        assert (a * b).value == F4.mul(3, 7)
+        assert (a / b).value == F4.div(3, 7)
+        assert (a ** 3).value == F4.pow(3, 3)
+
+    def test_sub_is_add(self):
+        a = F4.element(3)
+        b = F4.element(7)
+        assert (a - b) == (a + b)
+
+    def test_inverse(self):
+        a = F4.element(9)
+        assert (a * a.inverse()).value == 1
+
+    def test_int_coercion(self):
+        a = F4.element(3)
+        assert (a + 7).value == F4.add(3, 7)
+        assert int(a) == 3
+
+    def test_mixed_field_rejected(self):
+        with pytest.raises(FieldError):
+            F4.element(1) + F8.element(1)
+
+    def test_equality(self):
+        assert F4.element(5) == F4.element(5)
+        assert F4.element(5) == 5
+        assert F4.element(5) != F8.element(5)
+
+    def test_hashable(self):
+        assert len({F4.element(1), F4.element(1), F4.element(2)}) == 2
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=15))
+    def test_elements_iterator_covers_field(self, _):
+        values = {e.value for e in F4.elements()}
+        assert values == set(range(16))
+
+
+class TestLogTables:
+    def test_exp_log_roundtrip(self):
+        for v in range(1, 256):
+            assert F8.exp[F8.log[v]] == v
+
+    def test_generator_spans_field(self):
+        seen = set(F8.exp[: F8.order - 1])
+        assert seen == set(range(1, 256))
+
+    def test_gf2_trivial_field(self):
+        f2 = GF2m.get(1)
+        assert f2.mul(1, 1) == 1
+        assert f2.add(1, 1) == 0
+        assert f2.inv(1) == 1

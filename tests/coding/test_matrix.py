@@ -1,0 +1,152 @@
+"""Tests for matrices and Gaussian elimination over GF(2^m)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.gf import GF2m
+from repro.coding.matrix import GFMatrix
+from repro.errors import CodingError, FieldError
+
+F = GF2m.get(8)
+
+
+def random_matrix(draw, n, m):
+    return [[draw for _ in range(m)] for _ in range(n)]
+
+
+matrix3 = st.lists(
+    st.lists(st.integers(0, 255), min_size=3, max_size=3),
+    min_size=3,
+    max_size=3,
+)
+vector3 = st.lists(st.integers(0, 255), min_size=3, max_size=3)
+
+
+class TestConstruction:
+    def test_shape(self):
+        m = GFMatrix(F, [[1, 2], [3, 4], [5, 6]])
+        assert (m.nrows, m.ncols) == (3, 2)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(CodingError):
+            GFMatrix(F, [[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodingError):
+            GFMatrix(F, [])
+        with pytest.raises(CodingError):
+            GFMatrix(F, [[]])
+
+    def test_out_of_field_rejected(self):
+        with pytest.raises(FieldError):
+            GFMatrix(F, [[256]])
+
+    def test_rows_are_copied(self):
+        src = [[1, 2]]
+        m = GFMatrix(F, src)
+        src[0][0] = 99
+        assert m.rows[0][0] == 1
+
+    def test_identity(self):
+        i = GFMatrix.identity(F, 3)
+        assert i.rows == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_vandermonde_rows(self):
+        v = GFMatrix.vandermonde(F, [2, 3], 3)
+        assert v.rows[0] == [1, 2, F.mul(2, 2)]
+        assert v.rows[1] == [1, 3, F.mul(3, 3)]
+
+    def test_vandermonde_duplicate_points_rejected(self):
+        with pytest.raises(CodingError):
+            GFMatrix.vandermonde(F, [1, 1], 2)
+
+
+class TestArithmetic:
+    def test_identity_mul_vector(self):
+        i = GFMatrix.identity(F, 3)
+        assert i.mul_vector([7, 8, 9]) == [7, 8, 9]
+
+    def test_mul_vector_length_check(self):
+        with pytest.raises(CodingError):
+            GFMatrix.identity(F, 3).mul_vector([1, 2])
+
+    def test_matmul_identity(self):
+        m = GFMatrix(F, [[1, 2], [3, 4]])
+        i = GFMatrix.identity(F, 2)
+        assert m.matmul(i) == m
+        assert i.matmul(m) == m
+
+    def test_matmul_dimension_check(self):
+        a = GFMatrix(F, [[1, 2]])
+        with pytest.raises(CodingError):
+            a.matmul(a)
+
+    def test_matmul_mixed_field_rejected(self):
+        a = GFMatrix(F, [[1]])
+        b = GFMatrix(GF2m.get(4), [[1]])
+        with pytest.raises(FieldError):
+            a.matmul(b)
+
+    @settings(max_examples=50)
+    @given(matrix3, vector3)
+    def test_matmul_vs_mul_vector(self, rows, vec):
+        m = GFMatrix(F, rows)
+        col = GFMatrix(F, [[v] for v in vec])
+        product = m.matmul(col)
+        assert [r[0] for r in product.rows] == m.mul_vector(vec)
+
+
+class TestSolveAndInverse:
+    def test_solve_identity(self):
+        i = GFMatrix.identity(F, 3)
+        assert i.solve([4, 5, 6]) == [4, 5, 6]
+
+    def test_solve_requires_square(self):
+        with pytest.raises(CodingError):
+            GFMatrix(F, [[1, 2]]).solve([1])
+
+    def test_solve_singular_rejected(self):
+        singular = GFMatrix(F, [[1, 1], [1, 1]])
+        with pytest.raises(CodingError):
+            singular.solve([1, 2])
+
+    def test_inverse_roundtrip_vandermonde(self):
+        v = GFMatrix.vandermonde(F, [1, 2, 3], 3)
+        inv = v.inverse()
+        assert v.matmul(inv) == GFMatrix.identity(F, 3)
+
+    def test_inverse_singular_rejected(self):
+        with pytest.raises(CodingError):
+            GFMatrix(F, [[0, 0], [0, 0]]).inverse()
+
+    @settings(max_examples=50)
+    @given(vector3)
+    def test_solve_reconstructs(self, data):
+        v = GFMatrix.vandermonde(F, [5, 9, 17], 3)
+        rhs = v.mul_vector(data)
+        assert v.solve(rhs) == data
+
+
+class TestRank:
+    def test_full_rank_identity(self):
+        assert GFMatrix.identity(F, 4).rank() == 4
+
+    def test_rank_deficient(self):
+        m = GFMatrix(F, [[1, 2], [1, 2]])
+        assert m.rank() == 1
+
+    def test_zero_matrix(self):
+        assert GFMatrix(F, [[0, 0], [0, 0]]).rank() == 0
+
+    def test_vandermonde_full_rank(self):
+        v = GFMatrix.vandermonde(F, list(range(6)), 4)
+        assert v.rank() == 4
+
+    def test_rank_wide(self):
+        m = GFMatrix(F, [[1, 0, 0], [0, 1, 0]])
+        assert m.rank() == 2
+
+    def test_submatrix_rows(self):
+        m = GFMatrix(F, [[1, 2], [3, 4], [5, 6]])
+        sub = m.submatrix_rows([2, 0])
+        assert sub.rows == [[5, 6], [1, 2]]

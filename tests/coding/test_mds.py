@@ -1,0 +1,72 @@
+"""Tests for MDS verification and Singleton-bound helpers."""
+
+import pytest
+
+from repro.coding.mds import (
+    achieves_singleton,
+    erasure_tolerance,
+    is_mds,
+    normalized_storage,
+    singleton_bound_bits,
+    storage_overhead,
+)
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.replication import ReplicationCode
+from repro.errors import BoundError
+
+
+class TestIsMDS:
+    def test_rs_codes_are_mds(self):
+        for n, k in [(4, 2), (5, 3), (6, 4), (7, 3)]:
+            assert is_mds(ReedSolomonCode(n, k))
+
+    def test_spot_check_subsets(self):
+        code = ReedSolomonCode(8, 4)
+        assert is_mds(code, subsets=[(0, 1, 2, 3), (4, 5, 6, 7), (0, 2, 4, 6)])
+
+
+class TestSingletonBound:
+    def test_formula(self):
+        assert singleton_bound_bits(10, 5, 100) == 200.0
+
+    def test_zero_failures(self):
+        assert singleton_bound_bits(10, 0, 100) == 100.0
+
+    def test_invalid_f(self):
+        with pytest.raises(BoundError):
+            singleton_bound_bits(10, 10, 100)
+        with pytest.raises(BoundError):
+            singleton_bound_bits(10, -1, 100)
+
+    def test_rs_achieves_singleton(self):
+        assert achieves_singleton(ReedSolomonCode(6, 4))
+
+    def test_replication_misses_singleton_except_trivial(self):
+        # (n, 1) replication tolerating n-1 failures *does* meet the bound
+        assert achieves_singleton(ReplicationCode(4, 8), f=3)
+        # but tolerating fewer failures, it wastes storage
+        assert not achieves_singleton(ReplicationCode(4, 8), f=1)
+
+
+class TestOverheadMetrics:
+    def test_rs_overhead(self):
+        assert storage_overhead(ReedSolomonCode(6, 3)) == 2.0
+
+    def test_replication_overhead(self):
+        assert storage_overhead(ReplicationCode(5, 8)) == 5.0
+
+    def test_erasure_tolerance(self):
+        assert erasure_tolerance(ReedSolomonCode(6, 4)) == 2
+
+    def test_normalized_storage(self):
+        code = ReedSolomonCode(6, 3, m=4)
+        assert abs(normalized_storage(code) - 2.0) < 1e-9
+
+    def test_replication_vs_rs_comparison(self):
+        """Section 2.1: replication costs ~ (f+1)x erasure coding."""
+        f = 2
+        n = 12
+        rs = ReedSolomonCode(n, n - f)
+        repl_total = (f + 1) * 8  # f+1 servers, full 8-bit value each
+        rs_total = n * rs.symbol_bits * 8 / rs.value_bits  # normalized to 8 bits
+        assert repl_total > rs_total

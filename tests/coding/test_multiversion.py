@@ -1,0 +1,119 @@
+"""Tests for the multi-version coding extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.multiversion import (
+    MultiVersionCode,
+    mvc_per_server_lower_bound,
+    mvc_replication_per_server_cost,
+    mvc_separate_coding_per_server_cost,
+)
+from repro.errors import BoundError, CodingError, DecodingError
+from repro.util.rng import SeededRNG
+
+
+class TestBoundFormulas:
+    def test_lower_bound_formula(self):
+        assert abs(mvc_per_server_lower_bound(3, 10, 4) - 3 / 8) < 1e-12
+
+    def test_lower_bound_single_version(self):
+        # nu=1 recovers the classical per-server bound 1/(n-f)
+        assert mvc_per_server_lower_bound(1, 10, 4) == 1 / 6
+
+    def test_lower_bound_validation(self):
+        with pytest.raises(BoundError):
+            mvc_per_server_lower_bound(0, 10, 4)
+        with pytest.raises(BoundError):
+            mvc_per_server_lower_bound(2, 4, 4)
+
+    def test_replication_cost(self):
+        assert mvc_replication_per_server_cost() == 1.0
+
+    def test_separate_coding_cost(self):
+        assert mvc_separate_coding_per_server_cost(3, 10, 4) == 0.5
+
+    def test_lower_bound_below_both_schemes(self):
+        for nu in range(1, 8):
+            lb = mvc_per_server_lower_bound(nu, 12, 5)
+            assert lb <= mvc_separate_coding_per_server_cost(nu, 12, 5) + 1e-12
+            assert lb <= max(1.0, nu / 7)  # replication keeps latest only
+
+
+class TestMultiVersionCode:
+    def test_construction_defaults(self):
+        mvc = MultiVersionCode(n=6, f=2, value_bits=12)
+        assert mvc.k == 4
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(CodingError):
+            MultiVersionCode(n=6, f=2, value_bits=12, k=5)
+
+    def test_invalid_f(self):
+        with pytest.raises(CodingError):
+            MultiVersionCode(n=4, f=4, value_bits=8)
+
+    def test_replication_mode(self):
+        mvc = MultiVersionCode(n=4, f=3, value_bits=8, k=1)
+        assert mvc.per_server_bits_per_version == 8
+
+    def test_decode_latest_complete(self):
+        mvc = MultiVersionCode(n=5, f=1, value_bits=12)
+        # version 1 (value 100) everywhere; version 2 (value 200) at 2 servers
+        states = {}
+        for server in range(5):
+            received = {1: 100}
+            if server < 2:
+                received[2] = 200
+            states[server] = mvc.server_state(received, server)
+        # read any n - f = 4 servers
+        subset = {s: states[s] for s in range(4)}
+        result = mvc.decode_latest(subset)
+        assert result.version == 1
+        assert result.value == 100
+
+    def test_decode_prefers_newer_when_possible(self):
+        mvc = MultiVersionCode(n=5, f=1, value_bits=12)
+        states = {
+            server: mvc.server_state({1: 100, 2: 200}, server)
+            for server in range(5)
+        }
+        result = mvc.decode_latest({s: states[s] for s in range(4)})
+        assert result.version == 2
+        assert result.value == 200
+
+    def test_decode_failure(self):
+        mvc = MultiVersionCode(n=5, f=1, value_bits=12)
+        states = {0: mvc.server_state({1: 100}, 0)}
+        with pytest.raises(DecodingError):
+            mvc.decode_latest(states)
+
+    def test_latest_complete_version(self):
+        mvc = MultiVersionCode(n=3, f=1, value_bits=8)
+        assert mvc.latest_complete_version([{1, 2}, {1}, {1, 2, 3}]) == 1
+        assert mvc.latest_complete_version([{1}, set(), {1}]) is None
+        assert mvc.latest_complete_version([]) is None
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=4095), st.integers(0, 10**6))
+    def test_completeness_guarantee(self, complete_value, seed):
+        """Any n-f servers decode >= the latest complete version."""
+        rng = SeededRNG(seed)
+        mvc = MultiVersionCode(n=6, f=2, value_bits=12)
+        later_value = (complete_value + 1) % 4096
+        received = []
+        for server in range(6):
+            seen = {3: complete_value}  # version 3 complete everywhere
+            if rng.random() < 0.5:
+                seen[4] = later_value  # version 4 partial
+            received.append(seen)
+        readers = rng.sample(range(6), 4)
+        states = {
+            s: mvc.server_state(received[s], s) for s in readers
+        }
+        result = mvc.decode_latest(states)
+        assert result.version >= 3
+        if result.version == 3:
+            assert result.value == complete_value
+        else:
+            assert result.value == later_value

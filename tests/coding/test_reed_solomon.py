@@ -1,0 +1,145 @@
+"""Tests for the Vandermonde Reed-Solomon code."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.errors import CodingError, DecodingError, EncodingError
+
+RS53 = ReedSolomonCode(5, 3)
+
+
+class TestConstruction:
+    def test_default_field_fits_n(self):
+        code = ReedSolomonCode(5, 3)
+        assert code.field.order >= 5
+
+    def test_value_bits(self):
+        code = ReedSolomonCode(5, 3, m=4)
+        assert code.symbol_bits == 4
+        assert code.value_bits == 12
+        assert code.value_space_size == 4096
+
+    def test_k_greater_than_n_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomonCode(3, 4)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomonCode(3, 0)
+
+    def test_field_too_small_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomonCode(10, 2, m=3)
+
+    def test_equality(self):
+        assert ReedSolomonCode(5, 3) == ReedSolomonCode(5, 3)
+        assert ReedSolomonCode(5, 3) != ReedSolomonCode(5, 2)
+
+
+class TestRoundTrip:
+    @settings(max_examples=100)
+    @given(st.integers(min_value=0, max_value=RS53.value_space_size - 1))
+    def test_encode_decode_all_symbols(self, value):
+        symbols = dict(enumerate(RS53.encode(value)))
+        assert RS53.decode(symbols) == value
+
+    @settings(max_examples=60)
+    @given(
+        st.integers(min_value=0, max_value=RS53.value_space_size - 1),
+        st.sets(st.integers(0, 4), min_size=3, max_size=3),
+    )
+    def test_any_k_subset_decodes(self, value, subset):
+        codeword = RS53.encode(value)
+        symbols = {i: codeword[i] for i in subset}
+        assert RS53.decode(symbols) == value
+
+    def test_every_k_subset_exhaustive(self):
+        value = 0b101010101010 % RS53.value_space_size
+        codeword = RS53.encode(value)
+        for subset in itertools.combinations(range(5), 3):
+            assert RS53.decode({i: codeword[i] for i in subset}) == value
+
+    def test_k_equals_n(self):
+        code = ReedSolomonCode(4, 4)
+        value = 13
+        assert code.decode(dict(enumerate(code.encode(value)))) == value
+
+    def test_k_equals_one_is_replication_like(self):
+        code = ReedSolomonCode(4, 1, m=4)
+        codeword = code.encode(9)
+        for i in range(4):
+            assert code.decode({i: codeword[i]}) == 9
+
+
+class TestEncodeSymbol:
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=RS53.value_space_size - 1))
+    def test_matches_full_encode(self, value):
+        codeword = RS53.encode(value)
+        for i in range(RS53.n):
+            assert RS53.encode_symbol(value, i) == codeword[i]
+
+    def test_index_out_of_range(self):
+        with pytest.raises(CodingError):
+            RS53.encode_symbol(0, 5)
+
+
+class TestErrors:
+    def test_value_out_of_range(self):
+        with pytest.raises(EncodingError):
+            RS53.encode(RS53.value_space_size)
+        with pytest.raises(EncodingError):
+            RS53.encode(-1)
+
+    def test_too_few_symbols(self):
+        codeword = RS53.encode(5)
+        with pytest.raises(DecodingError):
+            RS53.decode({0: codeword[0], 1: codeword[1]})
+
+    def test_bad_symbol_index(self):
+        with pytest.raises(DecodingError):
+            RS53.decode({0: 1, 1: 2, 9: 3})
+
+
+class TestConsistency:
+    def test_consistent_codeword(self):
+        codeword = RS53.encode(77)
+        assert RS53.check_consistent(dict(enumerate(codeword)))
+
+    def test_corrupted_codeword_detected(self):
+        codeword = RS53.encode(77)
+        symbols = dict(enumerate(codeword))
+        symbols[4] ^= 1
+        assert not RS53.check_consistent(symbols)
+
+    def test_under_k_vacuously_consistent(self):
+        assert RS53.check_consistent({0: 1})
+
+    def test_distinct_values_distinct_codewords(self):
+        seen = set()
+        for value in range(64):
+            seen.add(tuple(RS53.encode(value)))
+        assert len(seen) == 64
+
+
+class TestInformationDispersal:
+    """The storage-theoretic facts the paper relies on."""
+
+    def test_symbol_smaller_than_value(self):
+        assert RS53.symbol_bits < RS53.value_bits
+
+    def test_fewer_than_k_symbols_ambiguous(self):
+        """k-1 symbols leave the value information-theoretically open."""
+        codeword = RS53.encode(100)
+        partial = {0: codeword[0], 1: codeword[1]}
+        compatible = set()
+        for value in range(RS53.value_space_size):
+            cw = RS53.encode(value)
+            if all(cw[i] == s for i, s in partial.items()):
+                compatible.add(value)
+        # an MDS code leaves exactly |field| possibilities per missing symbol
+        assert len(compatible) == RS53.field.order
+        assert 100 in compatible

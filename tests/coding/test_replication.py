@@ -1,0 +1,52 @@
+"""Tests for the replication (n, 1) code."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.replication import ReplicationCode
+from repro.errors import CodingError, DecodingError, EncodingError
+
+R = ReplicationCode(4, 8)
+
+
+class TestReplication:
+    def test_encode_replicates(self):
+        assert R.encode(42) == [42, 42, 42, 42]
+
+    def test_decode_single(self):
+        assert R.decode({2: 42}) == 42
+
+    def test_decode_conflict_rejected(self):
+        with pytest.raises(DecodingError):
+            R.decode({0: 1, 1: 2})
+
+    def test_decode_empty_rejected(self):
+        with pytest.raises(DecodingError):
+            R.decode({})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            R.encode(256)
+
+    def test_encode_symbol(self):
+        assert R.encode_symbol(7, 3) == 7
+        with pytest.raises(CodingError):
+            R.encode_symbol(7, 4)
+
+    def test_symbol_bits_equal_value_bits(self):
+        assert R.symbol_bits == R.value_bits == 8
+
+    def test_check_consistent(self):
+        assert R.check_consistent({0: 5, 3: 5})
+        assert not R.check_consistent({0: 5, 3: 6})
+
+    def test_bad_params(self):
+        with pytest.raises(CodingError):
+            ReplicationCode(0, 8)
+        with pytest.raises(CodingError):
+            ReplicationCode(4, 0)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_roundtrip(self, value):
+        codeword = R.encode(value)
+        assert R.decode({0: codeword[0]}) == value

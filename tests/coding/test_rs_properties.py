@@ -1,0 +1,81 @@
+"""Deeper property-based tests on the Reed-Solomon code.
+
+These pin the algebraic structure the storage arguments implicitly use:
+linearity (which is what makes "a server storing v1 + v2" — the
+Appendix A counterexample — even expressible) and erasure-recovery
+symmetry.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.gf import GF2m
+from repro.coding.reed_solomon import ReedSolomonCode
+
+CODE = ReedSolomonCode(7, 3, m=4)
+values = st.integers(min_value=0, max_value=CODE.value_space_size - 1)
+
+
+class TestLinearity:
+    @settings(max_examples=80)
+    @given(values, values)
+    def test_additive(self, a, b):
+        """encode(a XOR b) = encode(a) XOR encode(b) symbol-wise.
+
+        XOR of values is field addition applied per data symbol, and
+        the code is linear over the field.
+        """
+        ca, cb, cab = CODE.encode(a), CODE.encode(b), CODE.encode(a ^ b)
+        assert [x ^ y for x, y in zip(ca, cb)] == cab
+
+    @settings(max_examples=40)
+    @given(values)
+    def test_zero_maps_to_zero(self, a):
+        assert CODE.encode(0) == [0] * CODE.n
+        # hence encode(a) XOR encode(a) = encode(0)
+        ca = CODE.encode(a)
+        assert [x ^ x for x in ca] == CODE.encode(0)
+
+    @settings(max_examples=60)
+    @given(values, values)
+    def test_appendix_a_joint_storage_decodes(self, v1, v2):
+        """The Appendix A scenario, executed.
+
+        A server holding only symbol_i(v1) XOR symbol_i(v2) reveals
+        nothing about either value alone; but once v2 is known, v1's
+        symbol is recoverable by subtraction — so no bit of the stored
+        state can be attributed to a single write, which is exactly why
+        the storage model of [23] cannot handle such schemes and this
+        paper's state-counting bounds can.
+        """
+        joint = [
+            x ^ y for x, y in zip(CODE.encode(v1), CODE.encode(v2))
+        ]
+        recovered = {
+            i: joint[i] ^ CODE.encode_symbol(v2, i) for i in range(CODE.k)
+        }
+        assert CODE.decode(recovered) == v1
+
+
+class TestErasurePatterns:
+    @settings(max_examples=50)
+    @given(
+        values,
+        st.sets(st.integers(0, CODE.n - 1), min_size=CODE.n - CODE.k,
+                max_size=CODE.n - CODE.k),
+    )
+    def test_any_n_minus_k_erasures_recoverable(self, value, erased):
+        codeword = CODE.encode(value)
+        surviving = {
+            i: codeword[i] for i in range(CODE.n) if i not in erased
+        }
+        assert CODE.decode(surviving) == value
+
+    @settings(max_examples=50)
+    @given(values, values)
+    def test_distinct_values_differ_in_many_symbols(self, a, b):
+        """MDS distance: distinct codewords differ in >= n-k+1 symbols."""
+        if a == b:
+            return
+        ca, cb = CODE.encode(a), CODE.encode(b)
+        differing = sum(1 for x, y in zip(ca, cb) if x != y)
+        assert differing >= CODE.n - CODE.k + 1

@@ -1,0 +1,64 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registers.abd import build_abd_system
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.registers.cas import build_cas_system
+from repro.registers.casgc import build_casgc_system
+
+
+def abd_builder(n: int, f: int, value_bits: int):
+    """MWMR ABD with one writer and one reader (atomic)."""
+    return build_abd_system(n=n, f=f, value_bits=value_bits)
+
+
+def swmr_builder(n: int, f: int, value_bits: int):
+    """SWSR regular ABD (no read write-back) — the lower bounds' target."""
+    return build_swmr_abd_system(n=n, f=f, value_bits=value_bits)
+
+
+def swmr_atomic_builder(n: int, f: int, value_bits: int):
+    """SWMR ABD with read write-back (atomic)."""
+    return build_swmr_abd_system(
+        n=n, f=f, value_bits=value_bits, read_write_back=True
+    )
+
+
+def cas_builder(n: int, f: int, value_bits: int):
+    """CAS with default rate k = N - 2f."""
+    return build_cas_system(n=n, f=f, value_bits=value_bits)
+
+
+def casgc_builder(n: int, f: int, value_bits: int):
+    """CASGC with gc_depth 1."""
+    return build_casgc_system(n=n, f=f, value_bits=value_bits, gc_depth=1)
+
+
+ALL_BUILDERS = {
+    "abd": abd_builder,
+    "swmr-abd": swmr_builder,
+    "swmr-abd-atomic": swmr_atomic_builder,
+    "cas": cas_builder,
+    "casgc": casgc_builder,
+}
+
+
+@pytest.fixture
+def small_abd():
+    """A 5-server, f=2 ABD system with 8-bit values."""
+    return build_abd_system(n=5, f=2, value_bits=8)
+
+
+@pytest.fixture
+def small_cas():
+    """A 5-server, f=1 CAS system (k=3) with 12-bit values."""
+    return build_cas_system(n=5, f=1, value_bits=12)
+
+
+@pytest.fixture
+def multi_writer_abd():
+    """ABD with 4 writers and 2 readers for concurrency tests."""
+    return build_abd_system(n=5, f=2, value_bits=8, num_writers=4, num_readers=2)

@@ -1,0 +1,139 @@
+"""Tests for the linearizability checker."""
+
+import pytest
+
+from repro.consistency.atomicity import check_atomicity, require_atomic
+from repro.errors import ConsistencyViolation
+from repro.sim.events import OperationRecord
+
+
+def op(op_id, kind, invoke, response=None, client=None, value=1):
+    return OperationRecord(
+        op_id=op_id,
+        client=client or f"c{op_id}",
+        kind=kind,
+        value=value,
+        invoke_step=invoke,
+        response_step=response,
+    )
+
+
+class TestSequentialHistories:
+    def test_empty_history(self):
+        assert check_atomicity([]).ok
+
+    def test_read_initial_value(self):
+        assert check_atomicity([op(0, "read", 1, 2, value=0)]).ok
+
+    def test_read_wrong_initial_value(self):
+        assert not check_atomicity([op(0, "read", 1, 2, value=5)]).ok
+
+    def test_custom_initial_value(self):
+        assert check_atomicity([op(0, "read", 1, 2, value=9)], initial_value=9).ok
+
+    def test_write_then_read(self):
+        h = [op(0, "write", 1, 2, value=5), op(1, "read", 3, 4, value=5)]
+        assert check_atomicity(h).ok
+
+    def test_stale_read_rejected(self):
+        h = [
+            op(0, "write", 1, 2, value=5),
+            op(1, "write", 3, 4, value=6),
+            op(2, "read", 5, 6, value=5),
+        ]
+        assert not check_atomicity(h).ok
+
+    def test_linearization_witness_is_legal(self):
+        h = [op(0, "write", 1, 2, value=5), op(1, "read", 3, 4, value=5)]
+        verdict = check_atomicity(h)
+        assert verdict.linearization == [0, 1]
+
+
+class TestConcurrentHistories:
+    def test_concurrent_read_may_return_either(self):
+        # write(6) overlaps the read; read may return 5 (before) or 6 (after)
+        base = [op(0, "write", 1, 2, value=5), op(1, "write", 3, 10, value=6)]
+        assert check_atomicity(base + [op(2, "read", 4, 9, value=5)]).ok
+        assert check_atomicity(base + [op(2, "read", 4, 9, value=6)]).ok
+
+    def test_new_old_inversion_rejected(self):
+        """Two sequential reads during a write cannot go new-then-old."""
+        h = [
+            op(0, "write", 1, 2, value=5),
+            op(1, "write", 3, 20, value=6),
+            op(2, "read", 4, 6, value=6),   # sees new
+            op(3, "read", 7, 9, value=5),   # then old: not atomic
+        ]
+        assert not check_atomicity(h).ok
+
+    def test_old_new_order_accepted(self):
+        h = [
+            op(0, "write", 1, 2, value=5),
+            op(1, "write", 3, 20, value=6),
+            op(2, "read", 4, 6, value=5),
+            op(3, "read", 7, 9, value=6),
+        ]
+        assert check_atomicity(h).ok
+
+    def test_concurrent_writes_any_order(self):
+        h = [
+            op(0, "write", 1, 10, value=5),
+            op(1, "write", 2, 9, value=6),
+            op(2, "read", 11, 12, value=5),
+        ]
+        assert check_atomicity(h).ok
+        h2 = h[:-1] + [op(2, "read", 11, 12, value=6)]
+        assert check_atomicity(h2).ok
+
+    def test_value_not_written_rejected(self):
+        h = [op(0, "write", 1, 2, value=5), op(1, "read", 3, 4, value=77)]
+        assert not check_atomicity(h).ok
+
+
+class TestIncompleteOperations:
+    def test_incomplete_write_may_take_effect(self):
+        h = [
+            op(0, "write", 1, None, value=5),
+            op(1, "read", 10, 12, value=5),
+        ]
+        assert check_atomicity(h).ok
+
+    def test_incomplete_write_may_not_take_effect(self):
+        h = [
+            op(0, "write", 1, None, value=5),
+            op(1, "read", 10, 12, value=0),
+        ]
+        assert check_atomicity(h).ok
+
+    def test_incomplete_read_ignored(self):
+        h = [op(0, "read", 1, None, value=None)]
+        assert check_atomicity(h).ok
+
+    def test_incomplete_write_cannot_be_reordered_before_past(self):
+        # completed write(6) precedes incomplete write(5); a read after
+        # the completed write may see 5 (late effect) or 6, never 0.
+        h = [
+            op(0, "write", 1, 2, value=6),
+            op(1, "write", 3, None, value=5),
+            op(2, "read", 10, 12, value=0),
+        ]
+        assert not check_atomicity(h).ok
+
+
+class TestBudget:
+    def test_budget_exceeded_reported(self):
+        h = [
+            op(i, "write", 1, 100, value=i) for i in range(12)
+        ] + [op(99, "read", 101, 102, value=50)]
+        verdict = check_atomicity(h, max_states=50)
+        assert not verdict.ok
+        assert "budget" in verdict.reason
+
+
+class TestRequireWrapper:
+    def test_passes_atomic(self):
+        require_atomic([op(0, "write", 1, 2, value=5)])
+
+    def test_raises_on_violation(self):
+        with pytest.raises(ConsistencyViolation):
+            require_atomic([op(0, "read", 1, 2, value=5)])

@@ -1,0 +1,85 @@
+"""Tests for history validation."""
+
+import pytest
+
+from repro.consistency.history import History
+from repro.errors import MalformedHistoryError
+from repro.sim.events import OperationRecord
+
+
+def op(op_id, kind, invoke, response=None, client="c", value=1):
+    return OperationRecord(
+        op_id=op_id, client=client, kind=kind, value=value,
+        invoke_step=invoke, response_step=response,
+    )
+
+
+class TestValidation:
+    def test_valid_history(self):
+        h = History([op(0, "write", 1, 3), op(1, "read", 4, 6)])
+        assert len(h) == 2
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(MalformedHistoryError):
+            History([op(0, "write", 1, 3), op(0, "read", 4, 6)])
+
+    def test_response_before_invoke_rejected(self):
+        with pytest.raises(MalformedHistoryError):
+            History([op(0, "write", 5, 3)])
+
+    def test_write_without_value_rejected(self):
+        bad = OperationRecord(0, "c", "write", None, invoke_step=1)
+        with pytest.raises(MalformedHistoryError):
+            History([bad])
+
+    def test_unknown_kind_rejected(self):
+        bad = OperationRecord(0, "c", "scan", 1, invoke_step=1)
+        with pytest.raises(MalformedHistoryError):
+            History([bad])
+
+    def test_overlapping_ops_same_client_rejected(self):
+        with pytest.raises(MalformedHistoryError):
+            History([op(0, "write", 1, 5), op(1, "write", 3, 8)])
+
+    def test_pending_then_new_op_same_client_rejected(self):
+        with pytest.raises(MalformedHistoryError):
+            History([op(0, "write", 1, None), op(1, "write", 3, 8)])
+
+    def test_different_clients_may_overlap(self):
+        h = History([
+            op(0, "write", 1, 5, client="a"),
+            op(1, "write", 3, 8, client="b"),
+        ])
+        assert len(h) == 2
+
+
+class TestQueries:
+    def test_writes_reads_split(self):
+        h = History([op(0, "write", 1, 3), op(1, "read", 4, 6)])
+        assert len(h.writes()) == 1
+        assert len(h.reads()) == 1
+
+    def test_completed_incomplete(self):
+        h = History([op(0, "write", 1, 3), op(1, "write", 5, None, client="b")])
+        assert len(h.completed()) == 1
+        assert len(h.incomplete()) == 1
+
+    def test_single_writer_detection(self):
+        h1 = History([op(0, "write", 1, 3), op(1, "write", 5, 8)])
+        assert h1.is_single_writer()
+        h2 = History([
+            op(0, "write", 1, 3, client="a"),
+            op(1, "write", 5, 8, client="b"),
+        ])
+        assert not h2.is_single_writer()
+
+    def test_reads_dont_count_as_writers(self):
+        h = History([
+            op(0, "write", 1, 3, client="a"),
+            op(1, "read", 5, 8, client="b"),
+        ])
+        assert h.is_single_writer()
+
+    def test_writes_sorted_by_invocation(self):
+        h = History([op(1, "write", 5, 8), op(0, "write", 1, 3)])
+        assert [o.op_id for o in h.writes()] == [0, 1]

@@ -1,0 +1,79 @@
+"""Implications among consistency levels, as properties.
+
+The paper's Section 3 leans on the hierarchy: atomic => regular (SWSR)
+=> weakly regular.  That hierarchy is why bounds proved for *regular*
+registers automatically apply to *atomic* algorithms.  We verify the
+implications on randomly generated histories.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.atomicity import check_atomicity
+from repro.consistency.regularity import check_regular, check_weakly_regular
+from repro.sim.events import OperationRecord
+
+
+@st.composite
+def single_writer_histories(draw):
+    """Histories with all writes at one client (sequential writes)."""
+    num_writes = draw(st.integers(min_value=0, max_value=3))
+    ops = []
+    op_id = 0
+    cursor = 0
+    for _ in range(num_writes):
+        invoke = cursor + 1 + draw(st.integers(min_value=0, max_value=3))
+        response = invoke + draw(st.integers(min_value=1, max_value=6))
+        cursor = response  # writer ops are strictly sequential
+        ops.append(
+            OperationRecord(
+                op_id=op_id, client="w", kind="write",
+                value=draw(st.integers(0, 2)),
+                invoke_step=invoke, response_step=response,
+            )
+        )
+        op_id += 1
+    num_reads = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(num_reads):
+        invoke = draw(st.integers(min_value=0, max_value=20))
+        response = invoke + draw(st.integers(min_value=1, max_value=6))
+        ops.append(
+            OperationRecord(
+                op_id=op_id, client=f"r{op_id}", kind="read",
+                value=draw(st.integers(0, 2)),
+                invoke_step=invoke, response_step=response,
+            )
+        )
+        op_id += 1
+    return ops
+
+
+class TestHierarchy:
+    @settings(max_examples=300, deadline=None)
+    @given(single_writer_histories())
+    def test_atomic_implies_regular(self, ops):
+        if check_atomicity(ops).ok:
+            assert check_regular(ops).ok
+
+    @settings(max_examples=300, deadline=None)
+    @given(single_writer_histories())
+    def test_regular_implies_weakly_regular(self, ops):
+        if check_regular(ops).ok:
+            assert check_weakly_regular(ops).ok
+
+    @settings(max_examples=300, deadline=None)
+    @given(single_writer_histories())
+    def test_atomic_implies_weakly_regular(self, ops):
+        if check_atomicity(ops).ok:
+            assert check_weakly_regular(ops).ok
+
+    def test_hierarchy_is_strict(self):
+        """Witnesses that the implications do not reverse."""
+        # regular but not atomic: new/old inversion
+        inversion = [
+            OperationRecord(0, "w", "write", 5, invoke_step=1, response_step=2),
+            OperationRecord(1, "w", "write", 6, invoke_step=3, response_step=20),
+            OperationRecord(2, "r1", "read", 6, invoke_step=4, response_step=6),
+            OperationRecord(3, "r2", "read", 5, invoke_step=7, response_step=9),
+        ]
+        assert check_regular(inversion).ok
+        assert not check_atomicity(inversion).ok

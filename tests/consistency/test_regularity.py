@@ -1,0 +1,154 @@
+"""Tests for regularity and weak-regularity checkers."""
+
+import pytest
+
+from repro.consistency.regularity import (
+    check_regular,
+    check_weakly_regular,
+    require_regular,
+    require_weakly_regular,
+)
+from repro.errors import ConsistencyViolation, MalformedHistoryError
+from repro.sim.events import OperationRecord
+
+
+def op(op_id, kind, invoke, response=None, client=None, value=1):
+    return OperationRecord(
+        op_id=op_id,
+        client=client or ("w" if kind == "write" else f"r{op_id}"),
+        kind=kind,
+        value=value,
+        invoke_step=invoke,
+        response_step=response,
+    )
+
+
+class TestRegular:
+    def test_read_initial(self):
+        assert check_regular([op(0, "read", 1, 2, value=0)]).ok
+
+    def test_read_last_completed_write(self):
+        h = [op(0, "write", 1, 2, value=5), op(1, "read", 3, 4, value=5)]
+        assert check_regular(h).ok
+
+    def test_read_concurrent_write_ok(self):
+        h = [
+            op(0, "write", 1, 2, value=5),
+            op(1, "write", 3, 10, value=6),
+            op(2, "read", 4, 8, value=6),
+        ]
+        assert check_regular(h).ok
+
+    def test_read_concurrent_may_return_old(self):
+        h = [
+            op(0, "write", 1, 2, value=5),
+            op(1, "write", 3, 10, value=6),
+            op(2, "read", 4, 8, value=5),
+        ]
+        assert check_regular(h).ok
+
+    def test_new_old_inversion_is_regular(self):
+        """The behaviour that separates regular from atomic."""
+        h = [
+            op(0, "write", 1, 2, value=5),
+            op(1, "write", 3, 20, value=6),
+            op(2, "read", 4, 6, value=6),
+            op(3, "read", 7, 9, value=5),
+        ]
+        assert check_regular(h).ok
+        from repro.consistency.atomicity import check_atomicity
+
+        assert not check_atomicity(h).ok
+
+    def test_stale_read_rejected(self):
+        h = [
+            op(0, "write", 1, 2, value=5),
+            op(1, "write", 3, 4, value=6),
+            op(2, "read", 5, 6, value=5),
+        ]
+        assert not check_regular(h).ok
+
+    def test_unwritten_value_rejected(self):
+        h = [op(0, "write", 1, 2, value=5), op(1, "read", 3, 4, value=9)]
+        assert not check_regular(h).ok
+
+    def test_initial_value_after_completed_write_rejected(self):
+        h = [op(0, "write", 1, 2, value=5), op(1, "read", 3, 4, value=0)]
+        assert not check_regular(h).ok
+
+    def test_multi_writer_rejected(self):
+        h = [
+            op(0, "write", 1, 2, value=5, client="w1"),
+            op(1, "write", 3, 4, value=6, client="w2"),
+        ]
+        with pytest.raises(MalformedHistoryError):
+            check_regular(h)
+
+    def test_incomplete_read_ignored(self):
+        h = [op(0, "read", 1, None, value=None)]
+        assert check_regular(h).ok
+
+    def test_violations_are_descriptive(self):
+        h = [op(0, "write", 1, 2, value=5), op(1, "read", 3, 4, value=9)]
+        verdict = check_regular(h)
+        assert "read op 1" in verdict.violations[0]
+
+
+class TestWeaklyRegular:
+    def test_single_writer_cases_carry_over(self):
+        h = [op(0, "write", 1, 2, value=5), op(1, "read", 3, 4, value=5)]
+        assert check_weakly_regular(h).ok
+
+    def test_multi_writer_concurrent(self):
+        h = [
+            op(0, "write", 1, 10, value=5, client="w1"),
+            op(1, "write", 2, 9, value=6, client="w2"),
+            op(2, "read", 11, 12, value=5),
+        ]
+        assert check_weakly_regular(h).ok
+
+    def test_incomplete_write_may_explain_read(self):
+        h = [
+            op(0, "write", 1, None, value=5, client="w1"),
+            op(1, "read", 10, 12, value=5),
+        ]
+        assert check_weakly_regular(h).ok
+
+    def test_read_cannot_see_future_write(self):
+        h = [
+            op(0, "read", 1, 2, value=5),
+            op(1, "write", 3, 4, value=5, client="w1"),
+        ]
+        assert not check_weakly_regular(h).ok
+
+    def test_overwritten_value_rejected(self):
+        # w1's write completed before w2's began; a read after w2 cannot
+        # return w1's value.
+        h = [
+            op(0, "write", 1, 2, value=5, client="w1"),
+            op(1, "write", 3, 4, value=6, client="w2"),
+            op(2, "read", 5, 6, value=5),
+        ]
+        assert not check_weakly_regular(h).ok
+
+    def test_initial_value_before_any_write(self):
+        assert check_weakly_regular([op(0, "read", 1, 2, value=0)]).ok
+
+    def test_initial_value_after_write_rejected(self):
+        h = [
+            op(0, "write", 1, 2, value=5, client="w1"),
+            op(1, "read", 3, 4, value=0),
+        ]
+        assert not check_weakly_regular(h).ok
+
+
+class TestRequireWrappers:
+    def test_require_regular(self):
+        require_regular([op(0, "read", 1, 2, value=0)])
+        with pytest.raises(ConsistencyViolation):
+            require_regular([op(0, "read", 1, 2, value=5)])
+
+    def test_require_weakly_regular(self):
+        require_weakly_regular([op(0, "read", 1, 2, value=0)])
+        with pytest.raises(ConsistencyViolation):
+            require_weakly_regular([op(0, "read", 1, 2, value=5)])

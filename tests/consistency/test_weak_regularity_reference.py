@@ -1,0 +1,107 @@
+"""Weak-regularity checker vs a definitional brute-force reference.
+
+``check_weakly_regular`` decides each read with a per-read admissibility
+condition derived from the definition of Shao et al. [22].  The
+reference below implements the *definition itself*: for each
+terminating read there must be a subset Φ of non-terminating writes
+such that {read} ∪ Φ ∪ {terminating writes} has a register-legal serial
+order respecting real-time precedence.  Hypothesis generates small
+histories and the two must always agree.
+"""
+
+from itertools import permutations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.regularity import check_weakly_regular
+from repro.sim.events import OperationRecord
+
+
+def brute_force_weakly_regular(ops, initial_value=0):
+    """The definition, enumerated."""
+    term_writes = [
+        o for o in ops if o.kind == "write" and o.is_complete
+    ]
+    nonterm_writes = [
+        o for o in ops if o.kind == "write" and not o.is_complete
+    ]
+    reads = [o for o in ops if o.kind == "read" and o.is_complete]
+
+    def serializable(sequence):
+        position = {o.op_id: i for i, o in enumerate(sequence)}
+        for a in sequence:
+            for b in sequence:
+                if a.op_id != b.op_id and a.precedes(b):
+                    if position[a.op_id] > position[b.op_id]:
+                        return False
+        value = initial_value
+        for o in sequence:
+            if o.kind == "write":
+                value = o.value
+            elif o.value != value:
+                return False
+        return True
+
+    for read in reads:
+        explained = False
+        for mask in range(1 << len(nonterm_writes)):
+            phi = [
+                w for i, w in enumerate(nonterm_writes) if mask & (1 << i)
+            ]
+            candidates = term_writes + phi + [read]
+            for sequence in permutations(candidates):
+                if serializable(sequence):
+                    explained = True
+                    break
+            if explained:
+                break
+        if not explained:
+            return False
+    return True
+
+
+@st.composite
+def small_mwmr_histories(draw):
+    """Multi-writer histories: <= 3 writes (distinct clients), <= 2 reads."""
+    ops = []
+    op_id = 0
+    for _ in range(draw(st.integers(0, 3))):
+        invoke = draw(st.integers(0, 10))
+        complete = draw(st.booleans())
+        response = invoke + draw(st.integers(1, 6)) if complete else None
+        ops.append(OperationRecord(
+            op_id=op_id, client=f"w{op_id}", kind="write",
+            value=draw(st.integers(1, 3)),
+            invoke_step=invoke, response_step=response,
+        ))
+        op_id += 1
+    for _ in range(draw(st.integers(0, 2))):
+        invoke = draw(st.integers(0, 18))
+        response = invoke + draw(st.integers(1, 6))
+        ops.append(OperationRecord(
+            op_id=op_id, client=f"r{op_id}", kind="read",
+            value=draw(st.integers(0, 3)),
+            invoke_step=invoke, response_step=response,
+        ))
+        op_id += 1
+    return ops
+
+
+class TestAgainstDefinition:
+    @settings(max_examples=400, deadline=None)
+    @given(small_mwmr_histories())
+    def test_checker_matches_reference(self, ops):
+        expected = brute_force_weakly_regular(ops)
+        actual = check_weakly_regular(ops).ok
+        assert actual == expected, (
+            f"checker={actual}, reference={expected}, history="
+            f"{[(o.kind, o.value, o.invoke_step, o.response_step) for o in ops]}"
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(small_mwmr_histories(), st.integers(0, 2))
+    def test_custom_initial_value(self, ops, initial):
+        assert (
+            check_weakly_regular(ops, initial_value=initial).ok
+            == brute_force_weakly_regular(ops, initial_value=initial)
+        )

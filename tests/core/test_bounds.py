@@ -1,0 +1,252 @@
+"""Tests for the paper's bound formulas (the primary contribution)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    BoundValues,
+    abd_upper_total_normalized,
+    erasure_coding_upper_total_normalized,
+    evaluate_bounds,
+    nu_star,
+    singleton_max_bits,
+    singleton_total_bits,
+    singleton_total_normalized,
+    theorem41_max_bits,
+    theorem41_subset_rhs_bits,
+    theorem41_total_bits,
+    theorem41_total_normalized,
+    theorem51_subset_rhs_bits,
+    theorem51_total_bits,
+    theorem51_total_normalized,
+    theorem65_subset_rhs_bits,
+    theorem65_subset_size,
+    theorem65_total_bits,
+    theorem65_total_normalized,
+)
+from repro.errors import BoundError
+from repro.util.intmath import exact_log2
+
+nf_pairs = st.tuples(
+    st.integers(min_value=5, max_value=60), st.integers(min_value=2, max_value=20)
+).filter(lambda t: t[0] - t[1] >= 2)
+
+
+class TestNuStar:
+    def test_small_nu(self):
+        assert nu_star(3, 10) == 3
+
+    def test_saturates_at_f_plus_one(self):
+        assert nu_star(100, 10) == 11
+
+    def test_invalid(self):
+        with pytest.raises(BoundError):
+            nu_star(0, 5)
+
+
+class TestSingleton:
+    def test_paper_figure1_value(self):
+        assert abs(singleton_total_normalized(21, 10) - 21 / 11) < 1e-12
+
+    def test_exact_bits(self):
+        assert singleton_total_bits(10, 5, 1 << 8) == 16.0
+        assert singleton_max_bits(10, 5, 1 << 10) == 2.0
+
+    def test_f_zero_rejected(self):
+        with pytest.raises(BoundError):
+            singleton_total_bits(10, 0, 4)
+
+    @given(nf_pairs)
+    def test_at_least_log_v(self, nf):
+        n, f = nf
+        assert singleton_total_bits(n, f, 1 << 8) >= 8.0
+
+
+class TestTheorem41:
+    def test_rhs_formula(self):
+        # |V|=16, N-f=3: log2 16 + log2 15 - log2 3
+        rhs = theorem41_subset_rhs_bits(5, 2, 16)
+        assert abs(rhs - (4 + exact_log2(15) - exact_log2(3))) < 1e-12
+
+    def test_requires_f_at_least_two(self):
+        with pytest.raises(BoundError):
+            theorem41_subset_rhs_bits(5, 1, 16)
+
+    def test_corollary_scaling(self):
+        rhs = theorem41_subset_rhs_bits(5, 2, 16)
+        assert abs(theorem41_total_bits(5, 2, 16) - 5 * rhs / 4) < 1e-12
+        assert abs(theorem41_max_bits(5, 2, 16) - rhs / 4) < 1e-12
+
+    def test_normalized_limit(self):
+        assert abs(theorem41_total_normalized(21, 10) - 42 / 12) < 1e-12
+
+    @given(nf_pairs)
+    def test_exact_approaches_limit_from_below(self, nf):
+        n, f = nf
+        v_size = 1 << 64
+        exact = theorem41_total_bits(n, f, v_size) / 64
+        assert exact <= theorem41_total_normalized(n, f) + 1e-9
+
+    @given(nf_pairs)
+    def test_stronger_than_singleton_for_large_v(self, nf):
+        """The headline claim: ~2x the Singleton bound."""
+        n, f = nf
+        v_size = 1 << 256
+        assert theorem41_total_bits(n, f, v_size) > singleton_total_bits(
+            n, f, v_size
+        )
+
+
+class TestTheorem51:
+    def test_paper_figure1_value(self):
+        assert abs(theorem51_total_normalized(21, 10) - 42 / 13) < 1e-12
+
+    def test_rhs_weaker_than_41(self):
+        """Gossip costs the bound one more log2(N-f) and a bigger divisor."""
+        assert theorem51_subset_rhs_bits(5, 2, 1 << 20) < theorem41_subset_rhs_bits(
+            5, 2, 1 << 20
+        )
+        assert theorem51_total_normalized(21, 10) < theorem41_total_normalized(
+            21, 10
+        )
+
+    def test_allows_f_one(self):
+        assert theorem51_total_normalized(5, 1) == 10 / 6
+
+    @given(nf_pairs)
+    def test_corollary_scaling(self, nf):
+        n, f = nf
+        v = 1 << 40
+        expected = n * theorem51_subset_rhs_bits(n, f, v) / (n - f + 2)
+        assert abs(theorem51_total_bits(n, f, v) - expected) < 1e-9
+
+
+class TestTheorem65:
+    def test_paper_figure1_values(self):
+        # nu=1 matches the Singleton coefficient
+        assert abs(
+            theorem65_total_normalized(21, 10, 1) - singleton_total_normalized(21, 10)
+        ) < 1e-12
+        # saturation at nu >= f+1: (f+1)N/N = f+1
+        assert theorem65_total_normalized(21, 10, 11) == 11.0
+        assert theorem65_total_normalized(21, 10, 16) == 11.0
+
+    def test_monotone_in_nu(self):
+        values = [theorem65_total_normalized(21, 10, nu) for nu in range(1, 17)]
+        assert values == sorted(values)
+
+    def test_subset_size(self):
+        assert theorem65_subset_size(21, 10, 1) == 11
+        assert theorem65_subset_size(21, 10, 11) == 21
+        assert theorem65_subset_size(21, 10, 100) == 21
+
+    def test_rhs_requires_enough_values(self):
+        with pytest.raises(BoundError):
+            theorem65_subset_rhs_bits(5, 2, 3, nu=3)  # |V|-1 < nu*
+
+    def test_rhs_formula(self):
+        from repro.util.intmath import log2_binomial, log2_factorial
+
+        n, f, nu, v = 6, 2, 2, 64
+        rhs = theorem65_subset_rhs_bits(n, f, v, nu)
+        width = n - f + 2 - 1
+        expected = log2_binomial(63, 2) - 2 * exact_log2(width) - log2_factorial(2)
+        assert abs(rhs - expected) < 1e-12
+
+    def test_exceeds_universal_bounds_at_high_nu(self):
+        """Theorem 6.5's point: much larger than 4.1/5.1 when nu, f big."""
+        assert theorem65_total_normalized(21, 10, 11) > theorem51_total_normalized(
+            21, 10
+        )
+
+    @given(nf_pairs, st.integers(min_value=1, max_value=30))
+    def test_total_bits_normalized_below_limit(self, nf, nu):
+        n, f = nf
+        bits = 128
+        exact = theorem65_total_bits(n, f, 1 << bits, nu) / bits
+        assert exact <= theorem65_total_normalized(n, f, nu) + 1e-9
+
+
+class TestUpperBounds:
+    def test_abd(self):
+        assert abd_upper_total_normalized(10) == 11.0
+
+    def test_erasure_coding(self):
+        assert abs(erasure_coding_upper_total_normalized(21, 10, 5) - 105 / 11) < 1e-12
+
+    def test_ec_zero_writes(self):
+        assert erasure_coding_upper_total_normalized(21, 10, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(BoundError):
+            abd_upper_total_normalized(-1)
+        with pytest.raises(BoundError):
+            erasure_coding_upper_total_normalized(21, 10, -1)
+
+
+class TestEvaluateBounds:
+    def test_all_fields_present(self):
+        values = evaluate_bounds(21, 10, 5)
+        d = values.as_dict()
+        assert set(d) == {
+            "singleton",
+            "theorem41",
+            "theorem51",
+            "theorem65",
+            "abd_upper",
+            "erasure_coding_upper",
+        }
+
+    def test_theorem41_none_when_f_small(self):
+        assert evaluate_bounds(5, 1, 2).theorem41 is None
+
+    def test_best_lower_is_max(self):
+        values = evaluate_bounds(21, 10, 16)
+        assert values.best_lower() == values.theorem65
+
+    def test_best_upper(self):
+        values = evaluate_bounds(21, 10, 2)
+        assert values.best_upper() == values.erasure_coding_upper
+        values_hi = evaluate_bounds(21, 10, 12)
+        assert values_hi.best_upper() == values_hi.abd_upper
+
+    @given(nf_pairs, st.integers(min_value=1, max_value=40))
+    def test_upper_bounds_respect_theorem65(self, nf, nu):
+        """Soundness within the matching liveness class.
+
+        The erasure-coded upper bound assumes termination only under at
+        most ``nu`` active writes — exactly Theorem 6.5's hypothesis —
+        so it must dominate that bound.  (It may dip below Theorems
+        4.1/5.1, whose liveness hypothesis is stronger; Figure 1 shows
+        the EC curve under the Thm 5.1 line at nu=1.)
+        """
+        n, f = nf
+        values = evaluate_bounds(n, f, nu)
+        assert values.erasure_coding_upper >= values.theorem65 - 1e-9
+        assert values.abd_upper >= values.theorem65 - 1e-9
+
+
+class TestConsistencyAcrossTheorems:
+    """Cross-theorem sanity: strength ordering claimed by the paper."""
+
+    @given(nf_pairs)
+    def test_41_beats_51_beats_singleton_asymptotically(self, nf):
+        """Strength ordering; 5.1 >= Singleton needs N - f >= 2."""
+        n, f = nf
+        assert (
+            theorem41_total_normalized(n, f)
+            >= theorem51_total_normalized(n, f)
+            >= singleton_total_normalized(n, f)
+        )
+
+    def test_singleton_dominates_51_when_nf_is_one(self):
+        """Degenerate N - f = 1: the old bound is actually stronger."""
+        assert singleton_total_normalized(5, 4) > theorem51_total_normalized(5, 4)
+
+    def test_ratio_approaches_two(self):
+        """Section 2.2: fixed f, growing N => twice the old bound."""
+        f = 4
+        ratio = theorem41_total_normalized(10_000, f) / singleton_total_normalized(
+            10_000, f
+        )
+        assert abs(ratio - 2.0) < 0.01

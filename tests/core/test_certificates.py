@@ -1,0 +1,93 @@
+"""Tests for proof certificates."""
+
+from repro.core.certificates import (
+    InjectivityCertificate,
+    Theorem41Certificate,
+    TheoremB1Certificate,
+)
+
+
+class TestInjectivity:
+    def test_injective(self):
+        cert = InjectivityCertificate(domain_size=10, image_size=10)
+        assert cert.injective
+        assert abs(cert.implied_bits - 3.321928) < 1e-5
+
+    def test_not_injective(self):
+        assert not InjectivityCertificate(10, 9).injective
+
+    def test_empty_domain(self):
+        assert InjectivityCertificate(0, 0).implied_bits == 0.0
+
+
+def make_b1(observed, rhs, injective=True):
+    return TheoremB1Certificate(
+        algorithm="test",
+        n=5,
+        f=2,
+        v_size=8,
+        surviving_servers=("s0", "s1", "s2"),
+        injectivity=InjectivityCertificate(8, 8 if injective else 7),
+        observed_per_server_bits=observed,
+        rhs_bits=rhs,
+    )
+
+
+class TestB1Certificate:
+    def test_holds_when_observed_exceeds_rhs(self):
+        assert make_b1({"s0": 1.0, "s1": 1.0, "s2": 1.5}, 3.0).holds
+
+    def test_fails_below_rhs(self):
+        assert not make_b1({"s0": 0.5, "s1": 0.5, "s2": 0.5}, 3.0).holds
+
+    def test_fails_without_injectivity(self):
+        assert not make_b1({"s0": 2.0, "s1": 2.0, "s2": 2.0}, 3.0, False).holds
+
+    def test_sum(self):
+        assert make_b1({"s0": 1.0, "s1": 2.0, "s2": 0.0}, 3.0).observed_sum_bits == 3.0
+
+    def test_row_shape(self):
+        row = make_b1({"s0": 3.0}, 3.0).as_row()
+        assert row[0] == "test"
+        assert row[-1] == "yes"
+
+
+def make_41(observed, rhs, injective=True, found=12):
+    return Theorem41Certificate(
+        algorithm="test",
+        n=5,
+        f=2,
+        v_size=4,
+        surviving_servers=("s0", "s1", "s2"),
+        injectivity=InjectivityCertificate(12, 12 if injective else 11),
+        observed_per_server_bits=observed,
+        rhs_bits=rhs,
+        pairs_tested=12,
+        critical_points_found=found,
+    )
+
+
+class TestTheorem41Certificate:
+    def test_lhs_is_sum_plus_max(self):
+        cert = make_41({"s0": 1.0, "s1": 2.0, "s2": 3.0}, 4.0)
+        assert cert.lhs_bits == 9.0  # 6 + 3
+
+    def test_holds(self):
+        assert make_41({"s0": 2.0, "s1": 2.0, "s2": 2.0}, 4.0).holds
+
+    def test_fails_below_rhs(self):
+        assert not make_41({"s0": 0.1, "s1": 0.1, "s2": 0.1}, 4.0).holds
+
+    def test_fails_missing_critical_points(self):
+        assert not make_41({"s0": 3.0, "s1": 3.0, "s2": 3.0}, 4.0, found=11).holds
+
+    def test_fails_without_injectivity(self):
+        assert not make_41(
+            {"s0": 3.0, "s1": 3.0, "s2": 3.0}, 4.0, injective=False
+        ).holds
+
+    def test_row_flags(self):
+        good = make_41({"s0": 3.0, "s1": 3.0, "s2": 3.0}, 4.0)
+        assert good.as_row()[-2:] == ("yes", "yes")
+        bad = make_41({"s0": 3.0, "s1": 3.0, "s2": 3.0}, 4.0, injective=False)
+        assert bad.as_row()[-2:] == ("NO", "NO")

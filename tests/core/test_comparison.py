@@ -1,0 +1,94 @@
+"""Tests for bound comparisons and crossover analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import (
+    abd_upper_total_normalized,
+    erasure_coding_upper_total_normalized,
+)
+from repro.core.comparison import (
+    bounds_respected_by,
+    crossover_active_writes,
+    dominating_bound,
+    improvement_over_singleton,
+    lower_upper_gap,
+)
+from repro.errors import BoundError
+
+nf_pairs = st.tuples(
+    st.integers(min_value=4, max_value=50), st.integers(min_value=1, max_value=20)
+).filter(lambda t: t[1] < t[0])
+
+
+class TestCrossover:
+    def test_figure1_crossover(self):
+        """At N=21, f=10 the EC line crosses ABD's f+1=11 at nu=6."""
+        assert crossover_active_writes(21, 10) == 6
+
+    def test_invalid_params(self):
+        with pytest.raises(BoundError):
+            crossover_active_writes(5, 5)
+
+    @given(nf_pairs)
+    def test_crossover_is_tight(self, nf):
+        n, f = nf
+        nu = crossover_active_writes(n, f)
+        abd = abd_upper_total_normalized(f)
+        assert erasure_coding_upper_total_normalized(n, f, nu) >= abd - 1e-9
+        if nu > 1:
+            assert erasure_coding_upper_total_normalized(n, f, nu - 1) < abd
+
+
+class TestImprovement:
+    def test_contains_both_theorems(self):
+        out = improvement_over_singleton(21, 10)
+        assert set(out) == {"theorem41", "theorem51"}
+
+    def test_f_one_drops_41(self):
+        assert set(improvement_over_singleton(10, 1)) == {"theorem51"}
+
+    def test_approaches_two(self):
+        out = improvement_over_singleton(100_000, 5)
+        assert abs(out["theorem41"] - 2.0) < 0.001
+        assert abs(out["theorem51"] - 2.0) < 0.001
+
+
+class TestDominatingBound:
+    def test_low_nu_universal_wins(self):
+        name, _ = dominating_bound(21, 10, 1)
+        assert name == "theorem41"
+
+    def test_high_nu_theorem65_wins(self):
+        name, value = dominating_bound(21, 10, 12)
+        assert name == "theorem65"
+        assert value == 11.0
+
+    def test_value_is_max(self):
+        from repro.core.bounds import evaluate_bounds
+
+        _, value = dominating_bound(21, 10, 5)
+        assert value == evaluate_bounds(21, 10, 5).best_lower()
+
+
+class TestGapAndRespect:
+    def test_gap_at_least_one_in_matched_class(self):
+        # at saturating nu the gap between ABD and Thm 6.5 closes to 1
+        assert abs(lower_upper_gap(21, 10, 11) - 1.0) < 1e-9
+
+    def test_gap_positive(self):
+        assert lower_upper_gap(21, 10, 2) > 0
+
+    def test_bounds_respected_by_abd_cost(self):
+        # ABD on N servers stores N values: respects everything
+        flags = bounds_respected_by(21.0, 21, 10, 5)
+        assert all(flags.values())
+
+    def test_bounds_violated_by_tiny_cost(self):
+        flags = bounds_respected_by(0.5, 21, 10, 5)
+        assert not any(flags.values())
+
+    def test_upper_bounds_not_included(self):
+        flags = bounds_respected_by(5.0, 21, 10, 5)
+        assert "abd_upper" not in flags
+        assert "erasure_coding_upper" not in flags

@@ -1,0 +1,54 @@
+"""Tests for the Section 7 regime classification."""
+
+from repro.core.bounds import theorem51_total_normalized, theorem65_total_normalized
+from repro.core.regimes import classify_storage_coefficient
+
+
+class TestClassification:
+    def test_below_universal_is_impossible(self):
+        g = theorem51_total_normalized(21, 10) - 0.1
+        result = classify_storage_coefficient(21, 10, 5, g)
+        assert result.impossible
+        assert "Theorem 5.1" in result.summary()
+
+    def test_abd_cost_is_consistent(self):
+        result = classify_storage_coefficient(21, 10, 5, 11.0)
+        assert not result.impossible
+        assert not result.escapes_theorem65_class
+        assert result.summary() == "consistent with known algorithms"
+
+    def test_between_universal_and_65_escapes_class(self):
+        g = (
+            theorem51_total_normalized(21, 10)
+            + theorem65_total_normalized(21, 10, 8)
+        ) / 2
+        result = classify_storage_coefficient(21, 10, 8, g)
+        assert not result.impossible
+        assert result.escapes_theorem65_class
+        assert any("multiple phases" in note for note in result.notes)
+
+    def test_cross_version_coding_flag(self):
+        # below f+1 at saturating concurrency, but above universal bound
+        result = classify_storage_coefficient(21, 10, 12, 5.0)
+        assert result.requires_cross_version_coding
+        assert "jointly" in result.summary()
+
+    def test_cross_version_flag_needs_high_nu(self):
+        result = classify_storage_coefficient(21, 10, 2, 5.0)
+        assert not result.requires_cross_version_coding
+
+    def test_notes_populated(self):
+        result = classify_storage_coefficient(21, 10, 12, 5.0)
+        assert result.notes
+        assert any("f+1" in note for note in result.notes)
+
+    def test_exactly_at_universal_bound_possible(self):
+        g = theorem51_total_normalized(21, 10)
+        assert not classify_storage_coefficient(21, 10, 1, g).impossible
+
+    def test_erasure_coding_cost_in_class(self):
+        """nu N/(N-f) meets Thm 6.5, so it needs no escape hatch."""
+        nu = 4
+        g = nu * 21 / 11
+        result = classify_storage_coefficient(21, 10, nu, g)
+        assert not result.escapes_theorem65_class

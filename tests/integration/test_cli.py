@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["figure1"],
+            ["bounds", "--nu", "3"],
+            ["crossover", "--n", "9", "--f", "4"],
+            ["classify", "--g", "2.0"],
+            ["verify", "--theorem", "b1"],
+            ["assumptions"],
+            ["demo"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--nu-max", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ThmB.1" in out
+        assert "1.909" in out
+
+    def test_figure1_plot(self, capsys):
+        assert main(["figure1", "--nu-max", "4", "--plot"]) == 0
+        assert "theorem51" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--n", "21", "--f", "10", "--nu", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "best lower bound: 7.0000" in out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover", "--n", "21", "--f", "10"]) == 0
+        assert "nu = 6" in capsys.readouterr().out
+
+    def test_classify_possible(self, capsys):
+        assert main(["classify", "--g", "11", "--nu", "12"]) == 0
+
+    def test_classify_impossible_exit_code(self, capsys):
+        assert main(["classify", "--g", "1.0", "--nu", "1"]) == 1
+
+    def test_verify_b1(self, capsys):
+        code = main([
+            "verify", "--theorem", "b1", "--algorithm", "swmr-abd",
+            "--n", "5", "--f", "2", "--value-bits", "2",
+        ])
+        assert code == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_verify_41(self, capsys):
+        code = main([
+            "verify", "--theorem", "41", "--algorithm", "swmr-abd",
+            "--n", "5", "--f", "2", "--value-bits", "2",
+        ])
+        assert code == 0
+
+    def test_verify_65(self, capsys):
+        code = main([
+            "verify", "--theorem", "65", "--algorithm", "cas",
+            "--n", "5", "--f", "1", "--nu", "2", "--value-bits", "2",
+        ])
+        assert code == 0
+
+    def test_verify_65_unsupported_algorithm(self, capsys):
+        code = main([
+            "verify", "--theorem", "65", "--algorithm", "coded-swmr",
+            "--n", "5", "--f", "1",
+        ])
+        assert code == 2
+
+    def test_assumptions(self, capsys):
+        assert main(["assumptions", "--algorithm", "cas"]) == 0
+        assert "pre" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_demo_every_algorithm(self, capsys, algorithm):
+        assert main(["demo", "--algorithm", algorithm]) == 0
+        assert "read() -> 3" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_explore(self, capsys):
+        assert main(["explore", "--max-states", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "exhausted=True" in out
+        assert "atomic in every explored execution" in out
+
+    def test_explore_budget(self, capsys):
+        assert main(["explore", "--max-states", "50"]) == 0
+        assert "exhausted=False" in capsys.readouterr().out
+
+    def test_communication(self, capsys):
+        assert main(["communication", "--algorithms", "abd"]) == 0
+        out = capsys.readouterr().out
+        assert "write" in out and "read" in out

@@ -1,0 +1,52 @@
+"""Every example script must run clean — they are living documentation."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+class TestExamples:
+    def test_at_least_five_examples_exist(self):
+        assert len(EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("script", EXAMPLES)
+    def test_example_runs_clean(self, script):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert proc.returncode == 0, (
+            f"{script} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+        )
+        assert proc.stdout.strip(), f"{script} produced no output"
+
+    def test_quickstart_mentions_bounds(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert "lower bound" in proc.stdout
+        assert "read()   -> 42" in proc.stdout
+
+    def test_adversarial_execution_certifies(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "adversarial_execution.py")],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert "critical pair" in proc.stdout
+        assert "both certificates hold" in proc.stdout

@@ -1,0 +1,75 @@
+"""Tests for the Theorem 6.5 protocol-assumption instrumentation."""
+
+import pytest
+
+from repro.errors import ProofConstructionError
+from repro.lowerbound.assumptions import analyze_write_protocol
+from repro.registers.abd import build_abd_system
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.registers.cas import build_cas_system
+from repro.registers.coded_swmr import build_coded_swmr_system
+
+
+def abd(n, f, vb):
+    return build_abd_system(n=n, f=f, value_bits=vb)
+
+
+def swmr(n, f, vb):
+    return build_swmr_abd_system(n=n, f=f, value_bits=vb)
+
+
+def cas(n, f, vb):
+    return build_cas_system(n=n, f=f, value_bits=vb)
+
+
+def coded(n, f, vb):
+    return build_coded_swmr_system(n=n, f=f, value_bits=vb)
+
+
+class TestClassification:
+    def test_abd_phases(self):
+        """The paper: in ABD all actions are black-box; query is
+        value-independent, put carries the value."""
+        report = analyze_write_protocol(abd, 5, 2, 8, "abd")
+        assert report.black_box
+        assert report.phase_kinds == ("get", "put")
+        assert report.value_dependent_kinds == ("put",)
+        assert "get" in report.value_independent_kinds
+        assert report.value_dependent_phases == 1
+        assert report.satisfies_theorem65
+
+    def test_swmr_single_phase(self):
+        report = analyze_write_protocol(swmr, 5, 2, 8, "swmr-abd")
+        assert report.phase_kinds == ("put",)
+        assert report.value_dependent_phases == 1
+        assert report.satisfies_theorem65
+
+    def test_cas_three_phases_one_value_dependent(self):
+        """The paper: CAS sends coded elements only in pre-write."""
+        report = analyze_write_protocol(cas, 5, 1, 12, "cas")
+        assert report.phase_kinds == ("qf", "pre", "fin")
+        assert report.value_dependent_kinds == ("pre",)
+        assert report.value_dependent_phases == 1
+        assert report.satisfies_theorem65
+
+    def test_coded_swmr(self):
+        report = analyze_write_protocol(coded, 5, 1, 12, "coded-swmr")
+        assert report.phase_kinds == ("cput",)
+        assert report.satisfies_theorem65
+
+    def test_row_rendering(self):
+        row = analyze_write_protocol(abd, 5, 2, 8, "abd").as_row()
+        assert row[0] == "abd"
+        assert row[-1] == "yes"
+
+
+class TestProbeValues:
+    def test_custom_probe_values(self):
+        report = analyze_write_protocol(
+            abd, 5, 2, 8, "abd", probe_values=[3, 200, 77]
+        )
+        assert report.satisfies_theorem65
+
+    def test_identical_probe_values_rejected(self):
+        with pytest.raises(ProofConstructionError):
+            analyze_write_protocol(abd, 5, 2, 8, probe_values=[5, 5])

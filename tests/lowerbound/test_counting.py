@@ -1,0 +1,65 @@
+"""Tests for the counting/injectivity step."""
+
+from itertools import permutations
+
+from repro.lowerbound.counting import (
+    collect_state_vectors,
+    colliding_pairs,
+    injectivity_of,
+    state_vector_for,
+)
+from repro.lowerbound.critical import find_critical_pair
+from repro.lowerbound.executions import construct_two_write_execution
+from tests.conftest import swmr_builder
+
+
+def build_pairs(value_bits=2, n=5, f=2):
+    pairs = {}
+    surviving = None
+    for v1, v2 in permutations(range(1 << value_bits), 2):
+        execution = construct_two_write_execution(
+            swmr_builder, n=n, f=f, value_bits=value_bits, v1=v1, v2=v2
+        )
+        surviving = execution.surviving_server_ids
+        pairs[(v1, v2)] = find_critical_pair(execution)
+    return pairs, surviving
+
+
+class TestStateVectors:
+    def test_vector_structure(self):
+        pairs, surviving = build_pairs()
+        vector = state_vector_for(pairs[(0, 1)], surviving)
+        states_q1, changed_server, state_q2 = vector
+        assert len(states_q1) == len(surviving)
+        assert changed_server in surviving
+
+    def test_injectivity_holds(self):
+        """The heart of Theorem 4.1 against a real algorithm."""
+        pairs, surviving = build_pairs()
+        vectors = collect_state_vectors(pairs, surviving)
+        cert = injectivity_of(vectors)
+        assert cert.domain_size == 12  # |V| (|V|-1) with |V|=4
+        assert cert.injective
+
+    def test_implied_bits_match_count(self):
+        pairs, surviving = build_pairs()
+        vectors = collect_state_vectors(pairs, surviving)
+        cert = injectivity_of(vectors)
+        from repro.util.intmath import exact_log2
+
+        assert abs(cert.implied_bits - exact_log2(12)) < 1e-12
+
+    def test_no_collisions_reported(self):
+        pairs, surviving = build_pairs()
+        vectors = collect_state_vectors(pairs, surviving)
+        assert colliding_pairs(vectors) == []
+
+    def test_colliding_pairs_detects_duplicates(self):
+        fake = {
+            (0, 1): ((("a",),), "s0", ("x",)),
+            (1, 0): ((("a",),), "s0", ("x",)),
+            (0, 2): ((("b",),), "s0", ("x",)),
+        }
+        collisions = colliding_pairs(fake)
+        assert collisions == [((0, 1), (1, 0))]
+        assert not injectivity_of(fake).injective

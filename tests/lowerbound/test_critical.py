@@ -1,0 +1,78 @@
+"""Tests for critical-point search."""
+
+import pytest
+
+from repro.lowerbound.critical import find_critical_pair
+from repro.lowerbound.executions import construct_two_write_execution
+from repro.lowerbound.valency import probe_read_value
+from tests.conftest import cas_builder, swmr_builder
+
+
+class TestFindCriticalPair:
+    def test_pair_exists(self):
+        """Lemma 4.6 empirically: every alpha(v1,v2) has a flip."""
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        pair = find_critical_pair(execution)
+        assert pair.value_at_q1 == 1
+        assert pair.value_at_q2 == 2
+
+    def test_pair_points_are_adjacent(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        pair = find_critical_pair(execution)
+        assert pair.q2.step_count == pair.q1.step_count + 1
+
+    def test_pair_matches_probe(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=0, v2=3
+        )
+        pair = find_critical_pair(execution)
+        assert probe_read_value(
+            pair.q1, [execution.writer_pid], execution.reader_pid
+        ) == 0
+        assert probe_read_value(
+            pair.q2, [execution.writer_pid], execution.reader_pid
+        ) == 3
+
+    def test_at_most_one_server_changes(self):
+        """Lemma 4.8(b) empirically."""
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        pair = find_critical_pair(execution)
+        changed = [
+            pid
+            for pid in execution.surviving_server_ids
+            if pair.q1.process(pid).state_digest()
+            != pair.q2.process(pid).state_digest()
+        ]
+        assert len(changed) <= 1
+
+    def test_works_for_cas(self):
+        execution = construct_two_write_execution(
+            cas_builder, n=5, f=1, value_bits=12, v1=11, v2=22
+        )
+        pair = find_critical_pair(execution)
+        assert (pair.value_at_q1, pair.value_at_q2) == (11, 22)
+
+    def test_gossip_variant(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        pair = find_critical_pair(execution, deliver_gossip_first=True)
+        assert pair.value_at_q1 == 1
+
+    def test_all_value_pairs_have_critical_points(self):
+        """Exhaustive over |V|=4: the construction never fails."""
+        from itertools import permutations
+
+        for v1, v2 in permutations(range(4), 2):
+            execution = construct_two_write_execution(
+                swmr_builder, n=5, f=2, value_bits=2, v1=v1, v2=v2
+            )
+            pair = find_critical_pair(execution)
+            assert pair.value_at_q1 == v1
+            assert pair.value_at_q2 == v2

@@ -1,0 +1,91 @@
+"""Tests for the alpha(v1, v2) execution construction."""
+
+import pytest
+
+from repro.errors import ProofConstructionError
+from repro.lowerbound.executions import construct_two_write_execution
+from tests.conftest import cas_builder, swmr_builder
+
+
+class TestConstruction:
+    def test_basic_structure(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        assert execution.v1 == 1 and execution.v2 == 2
+        assert len(execution.failed_server_ids) == 2
+        assert len(execution.surviving_server_ids) == 3
+        assert execution.num_points >= 2
+
+    def test_default_failed_are_last_f(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        assert execution.failed_server_ids == ["s003", "s004"]
+
+    def test_custom_failed_subset(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2,
+            failed_indices=[0, 2],
+        )
+        assert execution.failed_server_ids == ["s000", "s002"]
+        assert execution.surviving_server_ids == ["s001", "s003", "s004"]
+
+    def test_equal_values_rejected(self):
+        with pytest.raises(ProofConstructionError):
+            construct_two_write_execution(
+                swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=1
+            )
+
+    def test_both_writes_complete(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        writes = [
+            op for op in execution.handle.world.operations if op.kind == "write"
+        ]
+        assert len(writes) == 2
+        assert all(op.is_complete for op in writes)
+        assert writes[0].value == 1 and writes[1].value == 2
+
+    def test_writes_are_sequential(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        w1, w2 = [
+            op for op in execution.handle.world.operations if op.kind == "write"
+        ]
+        assert w1.response_step < w2.invoke_step
+
+    def test_readers_take_no_actions(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        reader = execution.reader_pid
+        for action in execution.handle.world.trace:
+            assert action.src != reader
+            assert action.dst != reader
+
+    def test_snapshots_are_consecutive_points(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        steps = [w.step_count for w in execution.snapshots]
+        # P_0 then the invoke, then one action per snapshot
+        assert steps[1] == steps[0] + 1
+        assert all(b == a + 1 for a, b in zip(steps[1:], steps[2:]))
+
+    def test_snapshots_are_independent_forks(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        s0 = execution.snapshots[0]
+        before = s0.step_count
+        execution.snapshots[1].step()
+        assert s0.step_count == before
+
+    def test_works_for_cas(self):
+        execution = construct_two_write_execution(
+            cas_builder, n=5, f=1, value_bits=12, v1=7, v2=9
+        )
+        assert execution.num_points > 2

@@ -1,0 +1,73 @@
+"""End-to-end tests for the Theorem 4.1 driver.
+
+These are the flagship tests of the reproduction: the paper's full
+Section 4.3 construction executed against real algorithms.
+"""
+
+import pytest
+
+from repro.core.bounds import theorem41_subset_rhs_bits
+from repro.lowerbound.theorem41 import run_theorem41_experiment
+from tests.conftest import abd_builder, cas_builder, swmr_builder
+
+
+class TestSWMRABD:
+    def test_certificate_holds(self):
+        cert = run_theorem41_experiment(
+            swmr_builder, n=5, f=2, value_bits=2, algorithm="swmr-abd"
+        )
+        assert cert.injectivity.injective
+        assert cert.critical_points_found == cert.pairs_tested == 12
+        assert cert.holds
+
+    def test_lhs_exceeds_rhs(self):
+        cert = run_theorem41_experiment(swmr_builder, n=5, f=2, value_bits=2)
+        assert cert.lhs_bits >= cert.rhs_bits
+
+    def test_rhs_matches_formula(self):
+        cert = run_theorem41_experiment(swmr_builder, n=5, f=2, value_bits=2)
+        assert cert.rhs_bits == theorem41_subset_rhs_bits(5, 2, 4)
+
+    def test_pairs_cover_ordered_pairs(self):
+        cert = run_theorem41_experiment(swmr_builder, n=5, f=2, value_bits=2)
+        assert cert.pairs_tested == 4 * 3
+
+    def test_gossip_variant_certificate(self):
+        """Theorem 5.1's definition on a gossip-free algorithm."""
+        cert = run_theorem41_experiment(
+            swmr_builder, n=5, f=2, value_bits=2, deliver_gossip_first=True
+        )
+        assert cert.holds
+
+
+class TestOtherAlgorithms:
+    def test_abd_mwmr(self):
+        cert = run_theorem41_experiment(
+            abd_builder, n=5, f=2, value_bits=2, algorithm="abd"
+        )
+        assert cert.holds
+
+    def test_cas(self):
+        cert = run_theorem41_experiment(
+            cas_builder, n=5, f=1, value_bits=4, algorithm="cas",
+        )
+        # f=1 < 2: Theorem 4.1's statement needs f >= 2, so only check
+        # the construction itself succeeded and was injective.
+        assert cert.injectivity.injective
+        assert cert.critical_points_found == cert.pairs_tested
+
+    def test_cas_f2(self):
+        cert = run_theorem41_experiment(
+            cas_builder, n=7, f=2, value_bits=4, algorithm="cas",
+        )
+        assert cert.injectivity.injective
+        assert cert.holds
+
+
+class TestSubsetChoice:
+    def test_alternative_failed_subset(self):
+        cert = run_theorem41_experiment(
+            swmr_builder, n=5, f=2, value_bits=2, failed_indices=[1, 3]
+        )
+        assert cert.surviving_servers == ("s000", "s002", "s004")
+        assert cert.holds

@@ -1,0 +1,83 @@
+"""Tests for the Theorem 6.5 direct-delivery experiment."""
+
+import pytest
+
+from repro.errors import ProofConstructionError
+from repro.lowerbound.theorem65 import run_theorem65_experiment
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.registers.casgc import build_casgc_system
+
+
+def cas_builder(n, f, vb, num_writers):
+    return build_cas_system(n=n, f=f, value_bits=vb, num_writers=num_writers)
+
+
+def casgc_builder(n, f, vb, num_writers):
+    return build_casgc_system(
+        n=n, f=f, value_bits=vb, num_writers=num_writers, gc_depth=2
+    )
+
+
+def abd_builder(n, f, vb, num_writers):
+    return build_abd_system(n=n, f=f, value_bits=vb, num_writers=num_writers)
+
+
+class TestCAS:
+    def test_information_complete_and_holds(self):
+        cert = run_theorem65_experiment(
+            cas_builder, n=5, f=1, nu=2, value_bits=3, algorithm="cas"
+        )
+        assert cert.information_complete
+        assert cert.holds
+        assert cert.tuples_tested == 7 * 6  # ordered pairs of non-initial values
+
+    def test_subset_width(self):
+        cert = run_theorem65_experiment(
+            cas_builder, n=5, f=1, nu=2, value_bits=3
+        )
+        assert len(cert.subset_servers) == 5 - 1 + 2 - 1
+
+    def test_nu_three(self):
+        cert = run_theorem65_experiment(
+            cas_builder, n=7, f=2, nu=3, value_bits=2, algorithm="cas"
+        )
+        assert cert.information_complete
+        assert cert.holds
+
+    def test_casgc(self):
+        cert = run_theorem65_experiment(
+            casgc_builder, n=5, f=1, nu=2, value_bits=3, algorithm="casgc"
+        )
+        assert cert.information_complete
+        assert cert.holds
+
+
+class TestReplication:
+    def test_abd_collapses_but_inequality_holds(self):
+        """Replication overwrites old versions, so direct delivery
+        cannot separate tuples — yet the state-count inequality still
+        holds (each server's state space carries a full value)."""
+        cert = run_theorem65_experiment(
+            abd_builder, n=5, f=2, nu=2, value_bits=3, algorithm="abd"
+        )
+        assert not cert.information_complete
+        assert cert.holds
+
+
+class TestValidation:
+    def test_nu_too_large(self):
+        with pytest.raises(ProofConstructionError):
+            run_theorem65_experiment(cas_builder, n=5, f=1, nu=3, value_bits=3)
+
+    def test_value_space_too_small(self):
+        with pytest.raises(ProofConstructionError):
+            run_theorem65_experiment(cas_builder, n=5, f=1, nu=2, value_bits=1)
+
+    def test_row_rendering(self):
+        cert = run_theorem65_experiment(
+            cas_builder, n=5, f=1, nu=2, value_bits=3, algorithm="cas"
+        )
+        row = cert.as_row()
+        assert row[0] == "cas"
+        assert row[-1] == "yes"

@@ -1,0 +1,87 @@
+"""Tests for valency probing."""
+
+from repro.lowerbound.executions import construct_two_write_execution
+from repro.lowerbound.valency import is_valent_for, probe_read_value
+from repro.sim.snapshot import world_digest
+from tests.conftest import cas_builder, swmr_builder
+
+
+class TestProbe:
+    def test_p0_reads_v1(self):
+        """At P_0 (after pi1, before pi2) a frozen-writer read sees v1."""
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        value = probe_read_value(
+            execution.snapshots[0], [execution.writer_pid], execution.reader_pid
+        )
+        assert value == 1
+
+    def test_pm_reads_v2(self):
+        """At P_M (after pi2) the read must see v2 (regularity)."""
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        value = probe_read_value(
+            execution.snapshots[-1], [execution.writer_pid], execution.reader_pid
+        )
+        assert value == 2
+
+    def test_probe_does_not_mutate_snapshot(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        snap = execution.snapshots[0]
+        before = world_digest(snap)
+        probe_read_value(snap, [execution.writer_pid], execution.reader_pid)
+        assert world_digest(snap) == before
+
+    def test_every_point_reads_v1_or_v2(self):
+        """Lemma 4.5 empirically: probe always returns v1 or v2."""
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=3
+        )
+        for snap in execution.snapshots:
+            value = probe_read_value(
+                snap, [execution.writer_pid], execution.reader_pid
+            )
+            assert value in (1, 3)
+
+    def test_is_valent_for(self):
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        assert is_valent_for(
+            execution.snapshots[0], 1, [execution.writer_pid], execution.reader_pid
+        )
+        assert not is_valent_for(
+            execution.snapshots[0], 2, [execution.writer_pid], execution.reader_pid
+        )
+
+    def test_gossip_variant_on_gossip_free_algorithm(self):
+        """For gossip-free protocols both valency definitions coincide."""
+        execution = construct_two_write_execution(
+            swmr_builder, n=5, f=2, value_bits=2, v1=1, v2=2
+        )
+        for snap in (execution.snapshots[0], execution.snapshots[-1]):
+            plain = probe_read_value(
+                snap, [execution.writer_pid], execution.reader_pid
+            )
+            gossip = probe_read_value(
+                snap,
+                [execution.writer_pid],
+                execution.reader_pid,
+                deliver_gossip_first=True,
+            )
+            assert plain == gossip
+
+    def test_cas_endpoints(self):
+        execution = construct_two_write_execution(
+            cas_builder, n=5, f=1, value_bits=12, v1=100, v2=200
+        )
+        assert probe_read_value(
+            execution.snapshots[0], [execution.writer_pid], execution.reader_pid
+        ) == 100
+        assert probe_read_value(
+            execution.snapshots[-1], [execution.writer_pid], execution.reader_pid
+        ) == 200

@@ -1,0 +1,119 @@
+"""Tests for (j, C0)-valency witness probing.
+
+The headline test demonstrates the phenomenon that forces Section 6's
+existential valency definition: from the *same* point, different
+delivery choices make *different* values readable — so no single fair
+extension classifies the point, but the witness enumeration does.
+"""
+
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.lowerbound.valency65 import (
+    is_j_c0_valent,
+    probe_with_release,
+    witness_values,
+)
+from repro.sim.scheduler import ChannelFilter
+
+
+def abd_p0(values=(1, 2)):
+    """The Theorem 6.5 point P_0 for ABD: nu writes queried, their
+    value-dependent puts held in the channels."""
+    handle = build_abd_system(
+        n=3, f=1, value_bits=2, num_writers=len(values)
+    )
+    w = handle.world
+    for value, writer in zip(values, handle.writer_ids):
+        w.invoke_write(writer, value)
+    w.deliver_all(ChannelFilter.block_message_kinds(["put"]))
+    return handle
+
+
+def cas_p0(values=(1, 2)):
+    handle = build_cas_system(
+        n=5, f=1, value_bits=4, num_writers=len(values)
+    )
+    w = handle.world
+    for value, writer in zip(values, handle.writer_ids):
+        w.invoke_write(writer, value)
+    w.deliver_all(ChannelFilter.block_message_kinds(["pre"]))
+    return handle
+
+
+class TestWitnessEnumeration:
+    def test_both_values_witnessed_at_p0(self):
+        """At P_0 with all writers allowed, every written value (and
+        the initial one) is witnessed by SOME extension — existential
+        multiplicity a single probe cannot see."""
+        handle = abd_p0()
+        values = witness_values(
+            handle.world,
+            allowed_writers=handle.writer_ids,
+            all_writers=handle.writer_ids,
+            server_ids=handle.server_ids,
+            vd_kinds=["put"],
+            reader_pid=handle.reader_ids[0],
+        )
+        assert {0, 1, 2} <= values
+
+    def test_frozen_writer_value_not_witnessed(self):
+        """With C0 = {writer of v1} only, v2 is unreachable: the point
+        is (1, {C1})-valent but not (2, {C1})-valent."""
+        handle = abd_p0()
+        w1 = handle.writer_ids[0]
+        assert is_j_c0_valent(
+            handle.world, 1, [w1], handle.writer_ids,
+            handle.server_ids, ["put"], handle.reader_ids[0],
+        )
+        assert not is_j_c0_valent(
+            handle.world, 2, [w1], handle.writer_ids,
+            handle.server_ids, ["put"], handle.reader_ids[0],
+        )
+
+    def test_empty_allowed_set_reads_initial(self):
+        handle = abd_p0()
+        values = witness_values(
+            handle.world, [], handle.writer_ids,
+            handle.server_ids, ["put"], handle.reader_ids[0],
+        )
+        assert values == {0}
+
+    def test_cas_witnesses(self):
+        handle = cas_p0()
+        values = witness_values(
+            handle.world,
+            allowed_writers=handle.writer_ids,
+            all_writers=handle.writer_ids,
+            server_ids=handle.server_ids,
+            vd_kinds=["pre"],
+            reader_pid=handle.reader_ids[0],
+        )
+        # the initial value is always readable; written values are not
+        # readable at P_0 because their tags were never finalized (the
+        # writers are stuck awaiting pre-acks) — CAS's finalized-tag
+        # discipline hides un-finalized versions from readers.
+        assert 0 in values
+
+
+class TestProbeMechanics:
+    def test_probe_does_not_mutate(self):
+        from repro.sim.snapshot import world_digest
+
+        handle = abd_p0()
+        before = world_digest(handle.world)
+        probe_with_release(
+            handle.world, handle.writer_ids, handle.server_ids,
+            handle.writer_ids, ["put"], handle.reader_ids[0],
+        )
+        assert world_digest(handle.world) == before
+
+    def test_partial_prefix_release(self):
+        """Releasing one writer's puts to a single server is already
+        enough for ABD (max-tag wins at the read quorum)."""
+        handle = abd_p0()
+        w2 = handle.writer_ids[1]
+        value = probe_with_release(
+            handle.world, [w2], handle.server_ids[:1],
+            handle.writer_ids, ["put"], handle.reader_ids[0],
+        )
+        assert value == 2

@@ -1,0 +1,143 @@
+"""Tests for the MWMR ABD algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.atomicity import check_atomicity
+from repro.errors import SimulationError
+from repro.registers.abd import ABDServer, build_abd_system
+from repro.registers.tags import INITIAL_TAG, Tag
+from repro.sim.events import Message
+from repro.sim.network import World
+from repro.sim.process import ProcessContext
+from repro.sim.scheduler import RandomScheduler
+
+
+class TestServer:
+    def make(self):
+        w = World()
+        server = w.add_process(ABDServer("s0", value_bits=8))
+        client = w.add_process(ABDServer("c0", value_bits=8))  # stand-in peer
+        return w, server
+
+    def test_initial_state(self):
+        _, s = self.make()
+        assert s.tag == INITIAL_TAG
+        assert s.value == 0
+
+    def test_put_advances_tag(self):
+        w, s = self.make()
+        ctx = ProcessContext(w, "s0")
+        s.on_message(ctx, "c0", Message.make("put", ref=("c0", 1), tag=(1, "w"), value=9))
+        assert s.value == 9
+        assert s.tag == Tag(1, "w")
+
+    def test_stale_put_ignored(self):
+        w, s = self.make()
+        ctx = ProcessContext(w, "s0")
+        s.on_message(ctx, "c0", Message.make("put", ref=("c0", 1), tag=(2, "w"), value=9))
+        s.on_message(ctx, "c0", Message.make("put", ref=("c0", 2), tag=(1, "w"), value=5))
+        assert s.value == 9
+
+    def test_equal_tag_put_ignored(self):
+        w, s = self.make()
+        ctx = ProcessContext(w, "s0")
+        s.on_message(ctx, "c0", Message.make("put", ref=("c0", 1), tag=(1, "w"), value=9))
+        s.on_message(ctx, "c0", Message.make("put", ref=("c0", 2), tag=(1, "w"), value=5))
+        assert s.value == 9
+
+    def test_get_replies_current(self):
+        w, s = self.make()
+        ctx = ProcessContext(w, "s0")
+        s.on_message(ctx, "c0", Message.make("get", ref=("c0", 1)))
+        reply = w.channel("s0", "c0").peek()
+        assert reply.kind == "get-ack"
+        assert reply.get("value") == 0
+
+    def test_unknown_message_rejected(self):
+        w, s = self.make()
+        with pytest.raises(SimulationError):
+            s.on_message(ProcessContext(w, "s0"), "c0", Message.make("bogus"))
+
+    def test_storage_bits(self):
+        _, s = self.make()
+        assert s.storage_bits() == 8.0
+        assert s.storage_bits(count_metadata=True) > 8.0
+
+
+class TestSingleClientBehaviour:
+    def test_read_before_any_write_returns_initial(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8, initial_value=7)
+        assert handle.read().value == 7
+
+    def test_read_your_write(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8)
+        handle.write(42)
+        assert handle.read().value == 42
+
+    def test_sequence_of_writes(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8)
+        for v in [1, 2, 3, 200]:
+            handle.write(v)
+            assert handle.read().value == v
+
+    def test_write_survives_f_crashes_after(self):
+        handle = build_abd_system(n=5, f=2, value_bits=8)
+        handle.write(9)
+        handle.crash_servers([0, 1])
+        assert handle.read().value == 9
+
+    def test_multiple_readers(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8, num_readers=3)
+        handle.write(5)
+        for reader in handle.reader_ids:
+            assert handle.read(reader=reader).value == 5
+
+
+class TestMultiWriter:
+    def test_writers_tags_do_not_collide(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8, num_writers=2)
+        handle.write(1, writer=handle.writer_ids[0])
+        handle.write(2, writer=handle.writer_ids[1])
+        assert handle.read().value == 2
+
+    def test_later_writer_sees_earlier_tag(self):
+        handle = build_abd_system(n=3, f=1, value_bits=8, num_writers=2)
+        handle.write(1, writer=handle.writer_ids[0])
+        handle.write(2, writer=handle.writer_ids[1])
+        handle.write(3, writer=handle.writer_ids[0])
+        assert handle.read().value == 3
+
+    def test_concurrent_writes_linearizable(self):
+        handle = build_abd_system(
+            n=3, f=1, value_bits=8, num_writers=2, num_readers=1
+        )
+        w = handle.world
+        op_a = w.invoke_write(handle.writer_ids[0], 10)
+        op_b = w.invoke_write(handle.writer_ids[1], 20)
+        w.run_until(lambda world: op_a.is_complete and op_b.is_complete)
+        handle.read()
+        assert check_atomicity(w.operations).ok
+
+
+class TestRandomSchedules:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_atomic_under_random_scheduling(self, seed):
+        handle = build_abd_system(
+            n=3,
+            f=1,
+            value_bits=4,
+            num_writers=2,
+            num_readers=2,
+            world=World(RandomScheduler(seed)),
+        )
+        w = handle.world
+        ops = [
+            w.invoke_write(handle.writer_ids[0], 3),
+            w.invoke_write(handle.writer_ids[1], 7),
+            w.invoke_read(handle.reader_ids[0]),
+            w.invoke_read(handle.reader_ids[1]),
+        ]
+        w.run_until(lambda world: all(o.is_complete for o in ops))
+        assert check_atomicity(w.operations).ok

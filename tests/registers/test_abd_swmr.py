@@ -1,0 +1,105 @@
+"""Tests for single-writer ABD."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.regularity import check_regular
+from repro.errors import SimulationError
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.sim.network import World
+from repro.sim.scheduler import RandomScheduler
+
+
+class TestBasics:
+    def test_write_then_read(self):
+        handle = build_swmr_abd_system(n=3, f=1, value_bits=8)
+        handle.write(42)
+        assert handle.read().value == 42
+
+    def test_one_phase_write_message_count(self):
+        """A SWMR write sends n messages and waits for a quorum of acks."""
+        handle = build_swmr_abd_system(n=3, f=1, value_bits=8)
+        before = handle.world.step_count
+        handle.write(5)
+        deliveries = [
+            a for a in handle.world.trace
+            if a.kind == "deliver" and a.step > before
+        ]
+        # 3 puts + at least quorum(2) acks, at most 3 acks; never a "get"
+        assert all(a.info in ("put", "put-ack") for a in deliveries)
+
+    def test_writer_cannot_read(self):
+        handle = build_swmr_abd_system(n=3, f=1, value_bits=8)
+        with pytest.raises(SimulationError):
+            handle.world.invoke_read(handle.writer_ids[0])
+
+    def test_exactly_one_writer(self):
+        handle = build_swmr_abd_system(n=3, f=1, value_bits=8)
+        assert len(handle.writer_ids) == 1
+
+    def test_liveness_under_f_failures(self):
+        handle = build_swmr_abd_system(n=5, f=2, value_bits=8)
+        handle.crash_servers([3, 4])
+        handle.write(9)
+        assert handle.read().value == 9
+
+
+class TestRegularity:
+    def test_sequential_history_regular(self):
+        handle = build_swmr_abd_system(n=3, f=1, value_bits=4)
+        for v in (1, 2, 3):
+            handle.write(v)
+            handle.read()
+        assert check_regular(handle.world.operations).ok
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_regular_under_random_schedules(self, seed):
+        handle = build_swmr_abd_system(
+            n=3,
+            f=1,
+            value_bits=4,
+            num_readers=2,
+            world=World(RandomScheduler(seed)),
+        )
+        w = handle.world
+        write_op = w.invoke_write(handle.writer_ids[0], 9)
+        read_a = w.invoke_read(handle.reader_ids[0])
+        read_b = w.invoke_read(handle.reader_ids[1])
+        w.run_until(
+            lambda world: write_op.is_complete
+            and read_a.is_complete
+            and read_b.is_complete
+        )
+        assert check_regular(w.operations).ok
+
+    def test_reads_concurrent_with_write_return_old_or_new(self):
+        handle = build_swmr_abd_system(n=3, f=1, value_bits=4)
+        handle.write(1)
+        w = handle.world
+        w.invoke_write(handle.writer_ids[0], 2)
+        read = w.invoke_read(handle.reader_ids[0])
+        w.run_until(lambda world: not world.pending_operations())
+        assert read.value in (1, 2)
+
+
+class TestAtomicVariant:
+    def test_write_back_upgrades_to_atomic(self):
+        from repro.consistency.atomicity import check_atomicity
+
+        handle = build_swmr_abd_system(
+            n=3, f=1, value_bits=4, num_readers=2, read_write_back=True
+        )
+        handle.write(1)
+        w = handle.world
+        w.invoke_write(handle.writer_ids[0], 2)
+        r1 = w.invoke_read(handle.reader_ids[0])
+        w.run_until(lambda world: r1.is_complete)
+        r2 = w.invoke_read(handle.reader_ids[1])
+        w.run_until(lambda world: not world.pending_operations())
+        assert check_atomicity(w.operations).ok
+
+    def test_params_recorded(self):
+        handle = build_swmr_abd_system(n=3, f=1, read_write_back=True)
+        assert handle.params["read_write_back"] is True
+        assert handle.algorithm == "swmr-abd"

@@ -1,0 +1,158 @@
+"""Tests for Coded Atomic Storage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.atomicity import check_atomicity
+from repro.errors import ConfigurationError
+from repro.registers.cas import (
+    build_cas_system,
+    cas_code_for,
+    cas_quorum_size,
+)
+from repro.sim.network import World
+from repro.sim.scheduler import RandomScheduler
+
+
+class TestConfiguration:
+    def test_default_k(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        assert handle.params["k"] == 3
+
+    def test_quorum_formula(self):
+        assert cas_quorum_size(5, 3) == 4
+        assert cas_quorum_size(21, 1) == 11
+
+    def test_quorums_intersect_in_k(self):
+        for n, k in [(5, 3), (7, 1), (9, 5)]:
+            q = cas_quorum_size(n, k)
+            assert 2 * q - n >= k
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_cas_system(n=5, f=1, k=4)
+
+    def test_optimistic_allows_larger_k(self):
+        handle = build_cas_system(n=5, f=1, k=4, optimistic=True)
+        assert handle.params["k"] == 4
+
+    def test_optimistic_still_bounded(self):
+        with pytest.raises(ConfigurationError):
+            build_cas_system(n=5, f=1, k=5, optimistic=True)
+
+    def test_code_symbol_fits_n(self):
+        code = cas_code_for(21, 11, 55)
+        assert code.field.order >= 21
+        assert code.n == 21
+
+
+class TestBasicOperation:
+    def test_initial_read(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12, initial_value=7)
+        assert handle.read().value == 7
+
+    def test_write_then_read(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        handle.write(3000)
+        assert handle.read().value == 3000
+
+    def test_many_writes(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        for v in [1, 100, 4095, 0, 2048]:
+            handle.write(v)
+            assert handle.read().value == v
+
+    def test_liveness_under_f_failures(self):
+        handle = build_cas_system(n=7, f=2, value_bits=12)
+        handle.crash_servers([5, 6])
+        handle.write(99)
+        assert handle.read().value == 99
+
+    def test_no_server_stores_full_value(self):
+        """The defining property of erasure-coded storage."""
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        handle.write(4000)
+        sym = handle.params["symbol_bits"]
+        assert sym < 12
+        for pid in handle.server_ids:
+            # server bits = versions * symbol_bits, each below value_bits
+            assert handle.world.process(pid).code.symbol_bits == sym
+
+
+class TestStorageGrowth:
+    def test_storage_grows_with_versions(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        baseline = handle.normalized_total_storage()
+        handle.write(1)
+        handle.write(2)
+        assert handle.normalized_total_storage() > baseline
+
+    def test_stored_version_count(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        handle.write(1)
+        handle.write(2)
+        for pid in handle.server_ids:
+            assert handle.world.process(pid).stored_version_count() == 3  # t0+2
+
+    def test_normalized_storage_formula(self):
+        """Without GC, total = (versions) * n * sym/value_bits."""
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        handle.write(1)
+        expected = 2 * 5 * handle.params["symbol_bits"] / 12
+        assert abs(handle.normalized_total_storage() - expected) < 1e-9
+
+
+class TestConcurrency:
+    def test_two_concurrent_writers_atomic(self):
+        handle = build_cas_system(
+            n=5, f=1, value_bits=12, num_writers=2, num_readers=1
+        )
+        w = handle.world
+        a = w.invoke_write(handle.writer_ids[0], 111)
+        b = w.invoke_write(handle.writer_ids[1], 222)
+        w.run_until(lambda world: a.is_complete and b.is_complete)
+        handle.read()
+        assert check_atomicity(w.operations).ok
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_atomic_under_random_schedules(self, seed):
+        handle = build_cas_system(
+            n=5,
+            f=1,
+            value_bits=12,
+            num_writers=2,
+            num_readers=2,
+            world=World(RandomScheduler(seed)),
+        )
+        w = handle.world
+        ops = [
+            w.invoke_write(handle.writer_ids[0], 10),
+            w.invoke_write(handle.writer_ids[1], 20),
+            w.invoke_read(handle.reader_ids[0]),
+            w.invoke_read(handle.reader_ids[1]),
+        ]
+        w.run_until(lambda world: all(o.is_complete for o in ops))
+        assert check_atomicity(w.operations).ok
+
+    def test_read_concurrent_with_write_sees_old_or_new(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        handle.write(10)
+        w = handle.world
+        w.invoke_write(handle.writer_ids[0], 20)
+        read = w.invoke_read(handle.reader_ids[0])
+        w.run_until(lambda world: not world.pending_operations())
+        assert read.value in (10, 20)
+
+
+class TestServerDigest:
+    def test_digest_changes_with_store(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        before = handle.world.process("s000").state_digest()
+        handle.write(5)
+        after = handle.world.process("s000").state_digest()
+        assert before != after
+
+    def test_digest_hashable(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        hash(handle.world.process("s000").state_digest())

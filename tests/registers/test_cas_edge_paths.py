@@ -1,0 +1,107 @@
+"""Hand-scheduled tests for CAS's rarer protocol paths.
+
+These paths need precise message timing that fair/random schedules
+rarely produce: the garbage-collection retry (a reader chasing a tag
+that servers pruned meanwhile) and the pending-reader forwarding (a
+reader asking for a finalized tag whose coded element has not yet
+arrived at a server).
+"""
+
+from repro.registers.cas import build_cas_system
+from repro.registers.casgc import build_casgc_system
+
+
+class TestGCRetryPath:
+    def test_reader_retries_after_gc_and_returns_newer_value(self):
+        handle = build_casgc_system(n=5, f=1, value_bits=12, gc_depth=0)
+        w = handle.world
+        reader = handle.reader_ids[0]
+        servers = handle.server_ids
+
+        handle.write(100)
+        handle.write(200)
+        w.deliver_all()
+
+        # Reader queries and commits to the current max finalized tag...
+        read_op = w.invoke_read(reader)
+        for sid in servers:
+            w.deliver(reader, sid)      # qf
+        for sid in servers[:4]:          # quorum of qf-acks
+            w.deliver(sid, reader)
+        reader_proc = w.process(reader)
+        assert reader_proc.phase == 2    # read-fin(tag of 200) now queued
+
+        # ...but two more writes complete (with the reader's stalled
+        # read-fin messages held back) and GC prunes that tag.
+        handle.write(300, channel_filter=_not_from(reader))
+        handle.write(400, channel_filter=_not_from(reader))
+        w.deliver_all(_not_from(reader))
+        for sid in servers:
+            assert w.process(sid).gc_floor is not None
+
+        # Delivering the stale read-fin now triggers read-gc and a retry.
+        w.run_op_to_completion(read_op)
+        assert read_op.value == 400
+        assert reader_proc.retries >= 1
+
+    def test_retry_counter_resets_between_reads(self):
+        handle = build_casgc_system(n=5, f=1, value_bits=12, gc_depth=0)
+        handle.write(5)
+        handle.read()
+        reader = handle.world.process(handle.reader_ids[0])
+        handle.read()
+        assert reader.retries == 0
+
+
+class TestPendingReaderPath:
+    def test_element_forwarded_when_pre_arrives_late(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        w = handle.world
+        writer = handle.writer_ids[0]
+        reader = handle.reader_ids[0]
+        servers = handle.server_ids
+        straggler = servers[4]
+
+        handle.write(111)
+        w.deliver_all()
+
+        # Write 222: pre and fin reach servers 0..3; the straggler's
+        # copies sit undelivered in its FIFO channel from the writer.
+        write_op = w.invoke_write(writer, 222)
+        for sid in servers:
+            w.deliver(writer, sid)       # qf
+        for sid in servers:
+            w.deliver(sid, writer)       # qf-acks -> pre sent to all
+        for sid in servers[:4]:
+            w.deliver(writer, sid)       # pre to quorum only
+        for sid in servers[:4]:
+            w.deliver(sid, writer)       # pre-acks -> fin sent to all
+        for sid in servers[:4]:
+            w.deliver(writer, sid)       # fin to the quorum
+        straggler_proc = w.process(straggler)
+        assert (2, writer) not in straggler_proc.store
+
+        # The reader learns tag (2, writer) from the quorum and asks the
+        # straggler too, which knows nothing about it yet: parked.
+        read_op = w.invoke_read(reader)
+        for sid in servers:
+            w.deliver(reader, sid)
+        for sid in servers[1:]:          # qf quorum includes the straggler
+            w.deliver(sid, reader)
+        w.deliver(reader, straggler)     # read-fin at the straggler
+        assert straggler_proc.pending_readers  # parked, no element yet
+
+        # The late pre arrives; the straggler forwards the element.
+        w.deliver(writer, straggler)
+        assert not straggler_proc.pending_readers
+        assert straggler_proc.store[(2, writer)][0] is not None
+
+        w.run_op_to_completion(read_op)
+        w.run_op_to_completion(write_op)
+        assert read_op.value == 222
+
+
+def _not_from(pid):
+    from repro.sim.scheduler import ChannelFilter
+
+    return ChannelFilter(lambda s, d: s != pid, f"not-from({pid})")

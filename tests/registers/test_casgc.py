@@ -1,0 +1,72 @@
+"""Tests for CAS with garbage collection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.registers.casgc import build_casgc_system
+
+
+class TestGC:
+    def test_gc_bounds_storage(self):
+        handle = build_casgc_system(n=5, f=1, value_bits=12, gc_depth=0)
+        for v in range(1, 10):
+            handle.write(v)
+        for pid in handle.server_ids:
+            server = handle.world.process(pid)
+            # keep <= gc_depth+1 finalized (+ possibly in-flight ones)
+            assert server.stored_version_count() <= 2
+
+    def test_gc_depth_one_keeps_two_finalized(self):
+        handle = build_casgc_system(n=5, f=1, value_bits=12, gc_depth=1)
+        for v in range(1, 8):
+            handle.write(v)
+        for pid in handle.server_ids:
+            fins = [
+                t
+                for t, rec in handle.world.process(pid).store.items()
+                if rec[1] == "fin"
+            ]
+            assert len(fins) <= 2
+
+    def test_reads_still_correct_after_gc(self):
+        handle = build_casgc_system(n=5, f=1, value_bits=12, gc_depth=0)
+        for v in range(1, 12):
+            handle.write(v)
+        assert handle.read().value == 11
+
+    def test_interleaved_reads_and_writes(self):
+        handle = build_casgc_system(n=5, f=1, value_bits=12, gc_depth=1)
+        for v in range(1, 8):
+            handle.write(v)
+            assert handle.read().value == v
+
+    def test_gc_floor_advances(self):
+        handle = build_casgc_system(n=5, f=1, value_bits=12, gc_depth=0)
+        for v in range(1, 6):
+            handle.write(v)
+        server = handle.world.process("s000")
+        assert server.gc_floor is not None
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_casgc_system(n=5, f=1, gc_depth=-1)
+
+    def test_algorithm_label(self):
+        handle = build_casgc_system(n=5, f=1, gc_depth=0)
+        assert handle.algorithm == "casgc"
+
+    def test_storage_flat_in_total_writes(self):
+        """After GC the cost depends on delta, not on history length."""
+        handle = build_casgc_system(n=5, f=1, value_bits=12, gc_depth=0)
+        handle.write(1)
+        cost_after_one = handle.normalized_total_storage()
+        for v in range(2, 20):
+            handle.write(v)
+        assert handle.normalized_total_storage() <= cost_after_one + 1e-9
+
+    def test_liveness_under_failures(self):
+        handle = build_casgc_system(n=7, f=2, value_bits=12, gc_depth=0)
+        handle.crash_servers([5, 6])
+        for v in (1, 2, 3):
+            handle.write(v)
+        assert handle.read().value == 3

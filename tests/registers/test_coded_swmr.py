@@ -1,0 +1,119 @@
+"""Tests for the one-phase coded SWMR regular register."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.atomicity import check_atomicity
+from repro.consistency.regularity import check_regular
+from repro.errors import ConfigurationError
+from repro.registers.coded_swmr import build_coded_swmr_system
+from repro.sim.network import World
+from repro.sim.scheduler import RandomScheduler
+
+
+class TestBasics:
+    def test_initial_read(self):
+        handle = build_coded_swmr_system(n=5, f=1, value_bits=12, initial_value=9)
+        assert handle.read().value == 9
+
+    def test_write_then_read(self):
+        handle = build_coded_swmr_system(n=5, f=1, value_bits=12)
+        handle.write(3000)
+        assert handle.read().value == 3000
+
+    def test_sequence(self):
+        handle = build_coded_swmr_system(n=5, f=1, value_bits=12)
+        for v in (1, 4095, 0, 77):
+            handle.write(v)
+            assert handle.read().value == v
+
+    def test_liveness_under_failures(self):
+        handle = build_coded_swmr_system(n=7, f=2, value_bits=12)
+        handle.crash_servers([5, 6])
+        handle.write(55)
+        assert handle.read().value == 55
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_coded_swmr_system(n=5, f=1, k=4)
+        handle = build_coded_swmr_system(n=5, f=1, k=4, optimistic=True)
+        assert handle.params["k"] == 4
+
+
+class TestStorage:
+    def test_versions_accumulate(self):
+        handle = build_coded_swmr_system(n=5, f=1, value_bits=12)
+        for v in (1, 2, 3):
+            handle.write(v)
+        handle.world.deliver_all()
+        for pid in handle.server_ids:
+            assert handle.world.process(pid).stored_version_count() == 4
+
+    def test_per_server_below_full_value(self):
+        handle = build_coded_swmr_system(n=5, f=1, value_bits=12)
+        handle.write(1)
+        assert handle.params["symbol_bits"] < 12
+
+    def test_normalized_growth_rate(self):
+        handle = build_coded_swmr_system(n=5, f=1, value_bits=12)
+        costs = []
+        for v in (1, 2, 3):
+            handle.write(v)
+            handle.world.deliver_all()
+            costs.append(handle.normalized_total_storage())
+        slopes = {round(b - a, 9) for a, b in zip(costs, costs[1:])}
+        expected = 5 * handle.params["symbol_bits"] / 12
+        assert slopes == {round(expected, 9)}
+
+
+class TestRegularity:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_regular_under_random_schedules(self, seed):
+        handle = build_coded_swmr_system(
+            n=5, f=1, value_bits=8, num_readers=2,
+            world=World(RandomScheduler(seed)),
+        )
+        w = handle.world
+        handle.write(10)
+        w.invoke_write(handle.writer_ids[0], 20)
+        r1 = w.invoke_read(handle.reader_ids[0])
+        r2 = w.invoke_read(handle.reader_ids[1])
+        w.run_until(lambda world: not world.pending_operations())
+        assert check_regular(w.operations).ok
+
+    def test_new_old_inversion_possible(self):
+        """The register is regular but NOT atomic.
+
+        Constructed schedule: write(2)'s symbols reach exactly k=3
+        servers {0,1,2}; read1's quorum {0,1,2,3} decodes the new value
+        while read2's quorum {1,2,3,4} sees only 2 < k symbols of it
+        and falls back to the old one — a new/old inversion.
+        """
+        handle = build_coded_swmr_system(n=5, f=1, value_bits=8, num_readers=2)
+        assert handle.params["k"] == 3 and handle.params["quorum"] == 4
+        w = handle.world
+        writer = handle.writer_ids[0]
+        s = handle.server_ids
+        handle.write(1)
+        w.deliver_all()
+
+        w.invoke_write(writer, 2)
+        for i in (0, 1, 2):  # new symbols land at exactly k servers
+            w.deliver(writer, s[i])
+
+        r1 = w.invoke_read(handle.reader_ids[0])
+        for i in (0, 1, 2, 3):
+            w.deliver(handle.reader_ids[0], s[i])
+            w.deliver(s[i], handle.reader_ids[0])
+        assert r1.is_complete and r1.value == 2
+
+        r2 = w.invoke_read(handle.reader_ids[1])
+        for i in (1, 2, 3, 4):
+            w.deliver(handle.reader_ids[1], s[i])
+            w.deliver(s[i], handle.reader_ids[1])
+        assert r2.is_complete and r2.value == 1
+
+        w.run_until(lambda world: not world.pending_operations())
+        assert check_regular(w.operations).ok
+        assert not check_atomicity(w.operations).ok

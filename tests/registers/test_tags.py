@@ -1,0 +1,65 @@
+"""Tests for version tags."""
+
+from hypothesis import given, strategies as st
+
+from repro.registers.tags import INITIAL_TAG, Tag
+
+tag_st = st.builds(
+    Tag,
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from(["", "w0", "w1", "w2"]),
+)
+
+
+class TestOrdering:
+    def test_seq_dominates(self):
+        assert Tag(1, "z") < Tag(2, "a")
+
+    def test_client_breaks_ties(self):
+        assert Tag(1, "a") < Tag(1, "b")
+
+    def test_initial_tag_minimal(self):
+        assert INITIAL_TAG < Tag(1, "")
+        assert INITIAL_TAG <= Tag(0, "")
+
+    @given(tag_st, tag_st)
+    def test_total_order(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+
+    @given(tag_st, tag_st, tag_st)
+    def test_transitive(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(tag_st)
+    def test_next_for_strictly_greater(self, t):
+        for cid in ("w0", "w9"):
+            assert t.next_for(cid) > t
+
+    def test_concurrent_writers_distinct_tags(self):
+        base = Tag(3, "w0")
+        assert base.next_for("w1") != base.next_for("w2")
+
+
+class TestSerialization:
+    @given(tag_st)
+    def test_tuple_roundtrip(self, t):
+        assert Tag.from_tuple(t.as_tuple()) == t
+
+    @given(tag_st, tag_st)
+    def test_tuple_order_matches(self, a, b):
+        assert (a < b) == (a.as_tuple() < b.as_tuple())
+
+    def test_hashable(self):
+        assert len({Tag(1, "a"), Tag(1, "a"), Tag(2, "a")}) == 2
+
+    def test_frozen(self):
+        import dataclasses
+
+        t = Tag(1, "a")
+        try:
+            t.seq = 2
+            raised = False
+        except dataclasses.FrozenInstanceError:
+            raised = True
+        assert raised

@@ -1,0 +1,75 @@
+"""Tests for message and record types."""
+
+from repro.sim.events import ActionRecord, Message, OperationRecord
+
+
+class TestMessage:
+    def test_make_and_get(self):
+        m = Message.make("put", tag=(1, "w"), value=5)
+        assert m.kind == "put"
+        assert m.get("tag") == (1, "w")
+        assert m.get("value") == 5
+
+    def test_get_default(self):
+        m = Message.make("ping")
+        assert m.get("missing", 7) == 7
+        assert m.get("missing") is None
+
+    def test_as_dict(self):
+        m = Message.make("x", a=1, b=2)
+        assert m.as_dict() == {"a": 1, "b": 2}
+
+    def test_hashable_and_equal(self):
+        a = Message.make("x", a=1)
+        b = Message.make("x", a=1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_body_order_canonical(self):
+        assert Message.make("x", b=2, a=1) == Message.make("x", a=1, b=2)
+
+    def test_repr(self):
+        assert "put" in repr(Message.make("put", v=1))
+
+
+class TestOperationRecord:
+    def test_incomplete_by_default(self):
+        op = OperationRecord(0, "c", "write", 5)
+        assert not op.is_complete
+
+    def test_complete(self):
+        op = OperationRecord(0, "c", "write", 5, invoke_step=1, response_step=9)
+        assert op.is_complete
+
+    def test_precedes(self):
+        a = OperationRecord(0, "c", "write", 1, invoke_step=1, response_step=3)
+        b = OperationRecord(1, "c", "write", 2, invoke_step=5, response_step=7)
+        assert a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_incomplete_never_precedes(self):
+        a = OperationRecord(0, "c", "write", 1, invoke_step=1)
+        b = OperationRecord(1, "c", "write", 2, invoke_step=5, response_step=7)
+        assert not a.precedes(b)
+
+    def test_overlaps_concurrent(self):
+        a = OperationRecord(0, "c", "write", 1, invoke_step=1, response_step=6)
+        b = OperationRecord(1, "d", "write", 2, invoke_step=5, response_step=9)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_overlaps_disjoint(self):
+        a = OperationRecord(0, "c", "write", 1, invoke_step=1, response_step=3)
+        b = OperationRecord(1, "d", "write", 2, invoke_step=5, response_step=9)
+        assert not a.overlaps(b)
+
+    def test_incomplete_overlaps_everything_after(self):
+        a = OperationRecord(0, "c", "write", 1, invoke_step=1)
+        b = OperationRecord(1, "d", "write", 2, invoke_step=100, response_step=110)
+        assert a.overlaps(b)
+
+
+class TestActionRecord:
+    def test_fields(self):
+        r = ActionRecord(3, "deliver", "a", "b", "put")
+        assert (r.step, r.kind, r.src, r.dst, r.info) == (3, "deliver", "a", "b", "put")

@@ -1,0 +1,76 @@
+"""Tests for message-kind-aware channel filters."""
+
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.sim.events import Message
+from repro.sim.scheduler import ChannelFilter
+
+
+class TestBlockMessageKinds:
+    def test_blocks_named_kind(self):
+        f = ChannelFilter.block_message_kinds(["put"])
+        assert not f.allows("w", "s", Message.make("put", v=1))
+        assert f.allows("w", "s", Message.make("get"))
+
+    def test_source_scoped(self):
+        f = ChannelFilter.block_message_kinds(["put"], from_pids=["w1"])
+        assert not f.allows("w1", "s", Message.make("put"))
+        assert f.allows("w2", "s", Message.make("put"))
+
+    def test_no_head_message_passes(self):
+        """Key-only checks (no head supplied) are not message-filtered."""
+        f = ChannelFilter.block_message_kinds(["put"])
+        assert f.allows("w", "s")
+
+    def test_intersect_combines_message_predicates(self):
+        block_put = ChannelFilter.block_message_kinds(["put"])
+        freeze = ChannelFilter.freeze_process("r")
+        both = block_put.intersect(freeze)
+        assert not both.allows("w", "s", Message.make("put"))
+        assert not both.allows("w", "r", Message.make("get"))
+        assert both.allows("w", "s", Message.make("get"))
+
+
+class TestWorldIntegration:
+    def test_value_dependent_hold_freezes_abd_put(self):
+        """Blocking 'put' lets an ABD write run its query phase only."""
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        world = handle.world
+        world.invoke_write(handle.writer_ids[0], 5)
+        hold = ChannelFilter.block_message_kinds(["put"])
+        world.deliver_all(hold)
+        # writer is stuck in phase 2 with puts queued; servers unchanged
+        for pid in handle.server_ids:
+            assert world.process(pid).value == 0
+        put_channels = [
+            key for key, ch in world.channels.items()
+            if ch and ch.peek().kind == "put"
+        ]
+        assert len(put_channels) == 3
+
+    def test_releasing_hold_completes_write(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        world = handle.world
+        op = world.invoke_write(handle.writer_ids[0], 5)
+        world.deliver_all(ChannelFilter.block_message_kinds(["put"]))
+        world.run_op_to_completion(op)
+        assert op.is_complete
+        assert handle.read().value == 5
+
+    def test_cas_pre_hold(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        world = handle.world
+        world.invoke_write(handle.writer_ids[0], 99)
+        world.deliver_all(ChannelFilter.block_message_kinds(["pre"]))
+        # servers still at the initial version only
+        for pid in handle.server_ids:
+            assert world.process(pid).stored_version_count() == 1
+
+    def test_fifo_blocking_blocks_tail_too(self):
+        """A blocked head message blocks later messages on the channel."""
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        world = handle.world
+        world.enqueue_message("w000", "s000", Message.make("put", ref=0, tag=(9, "w"), value=1))
+        world.enqueue_message("w000", "s000", Message.make("get", ref=1))
+        hold = ChannelFilter.block_message_kinds(["put"])
+        assert world.enabled_channels(hold) == []

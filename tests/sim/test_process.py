@@ -1,0 +1,56 @@
+"""Tests for process base classes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Message
+from repro.sim.process import ClientProcess, Process, require_payload
+
+
+class TestProcessBase:
+    def test_on_message_abstract(self):
+        p = Process("p")
+        with pytest.raises(NotImplementedError):
+            p.on_message(None, "x", Message.make("m"))
+
+    def test_state_digest_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Process("p").state_digest()
+
+    def test_repr_shows_failure(self):
+        p = Process("p")
+        assert "FAILED" not in repr(p)
+        p.failed = True
+        assert "FAILED" in repr(p)
+
+
+class TestClientPending:
+    def test_begin_operation_conflict(self):
+        c = ClientProcess("c")
+        c.begin_operation(0)
+        with pytest.raises(SimulationError):
+            c.begin_operation(1)
+
+    def test_finish_without_pending(self):
+        c = ClientProcess("c")
+        with pytest.raises(SimulationError):
+            c.finish(None)
+
+    def test_start_hooks_abstract(self):
+        c = ClientProcess("c")
+        with pytest.raises(NotImplementedError):
+            c.start_write(None, 0, 1)
+        with pytest.raises(NotImplementedError):
+            c.start_read(None, 0)
+
+
+class TestRequirePayload:
+    def test_present(self):
+        assert require_payload(Message.make("m", x=5), "x") == 5
+
+    def test_missing(self):
+        with pytest.raises(SimulationError):
+            require_payload(Message.make("m"), "x")
+
+    def test_none_value_is_present(self):
+        assert require_payload(Message.make("m", x=None), "x") is None

@@ -1,0 +1,97 @@
+"""Tests for schedulers and channel filters."""
+
+import pytest
+
+from repro.errors import SchedulerExhaustedError
+from repro.sim.scheduler import (
+    ChannelFilter,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
+
+
+class TestChannelFilter:
+    def test_all_channels(self):
+        f = ChannelFilter.all_channels()
+        assert f.allows("a", "b")
+
+    def test_freeze_process(self):
+        f = ChannelFilter.freeze_process("w")
+        assert not f.allows("w", "s")
+        assert not f.allows("s", "w")
+        assert f.allows("s", "r")
+
+    def test_freeze_processes(self):
+        f = ChannelFilter.freeze_processes(["w1", "w2"])
+        assert not f.allows("w1", "s")
+        assert not f.allows("s", "w2")
+        assert f.allows("s", "r")
+
+    def test_only_between(self):
+        f = ChannelFilter.only_between(["s1", "s2"])
+        assert f.allows("s1", "s2")
+        assert not f.allows("s1", "r")
+        assert not f.allows("r", "s1")
+
+    def test_intersect(self):
+        f = ChannelFilter.only_between(["s1", "s2", "w"]).intersect(
+            ChannelFilter.freeze_process("w")
+        )
+        assert f.allows("s1", "s2")
+        assert not f.allows("s1", "w")
+
+    def test_repr_mentions_description(self):
+        assert "freeze" in repr(ChannelFilter.freeze_process("w"))
+
+
+class TestRoundRobin:
+    def test_cycles_fairly(self):
+        sched = RoundRobinScheduler()
+        enabled = [("a", "b"), ("c", "d"), ("e", "f")]
+        picks = [sched.select(None, enabled) for _ in range(6)]
+        assert picks == sorted(enabled) * 2
+
+    def test_handles_shrinking_enabled_set(self):
+        sched = RoundRobinScheduler()
+        sched.select(None, [("a", "b"), ("c", "d")])
+        pick = sched.select(None, [("a", "b")])
+        assert pick == ("a", "b")
+
+    def test_every_channel_eventually_selected(self):
+        sched = RoundRobinScheduler()
+        enabled = [(str(i), "x") for i in range(7)]
+        picks = {sched.select(None, enabled) for _ in range(7)}
+        assert picks == set(enabled)
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        enabled = [(str(i), "x") for i in range(5)]
+        a = [RandomScheduler(3).select(None, enabled) for _ in range(1)]
+        b = [RandomScheduler(3).select(None, enabled) for _ in range(1)]
+        assert a == b
+
+    def test_selection_is_enabled(self):
+        sched = RandomScheduler(0)
+        enabled = [("a", "b"), ("c", "d")]
+        for _ in range(20):
+            assert sched.select(None, enabled) in enabled
+
+
+class TestScripted:
+    def test_follows_script(self):
+        script = [("a", "b"), ("c", "d")]
+        sched = ScriptedScheduler(script)
+        assert sched.select(None, script) == ("a", "b")
+        assert sched.select(None, script) == ("c", "d")
+
+    def test_exhaustion(self):
+        sched = ScriptedScheduler([])
+        with pytest.raises(SchedulerExhaustedError):
+            sched.select(None, [("a", "b")])
+
+    def test_disabled_scripted_channel(self):
+        sched = ScriptedScheduler([("a", "b")])
+        with pytest.raises(SchedulerExhaustedError):
+            sched.select(None, [("c", "d")])

@@ -1,0 +1,83 @@
+"""Tests for World forking and digests.
+
+Fork correctness is load-bearing for the whole lower-bound machinery:
+a forked World must be observably identical and causally independent.
+"""
+
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.sim.snapshot import (
+    composite_digest,
+    fork_world,
+    forks_agree,
+    world_digest,
+)
+
+
+class TestForkIdentity:
+    def test_fork_digests_equal(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        handle.write(5)
+        clone = fork_world(handle.world, verify=True)
+        assert forks_agree(handle.world, clone)
+
+    def test_fork_mid_operation(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        handle.world.invoke_write(handle.writer_ids[0], 5)
+        handle.world.step()
+        clone = fork_world(handle.world, verify=True)
+        assert forks_agree(handle.world, clone)
+
+
+class TestForkIndependence:
+    def test_stepping_clone_leaves_original(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        handle.world.invoke_write(handle.writer_ids[0], 5)
+        clone = handle.world.fork()
+        before = world_digest(handle.world)
+        while clone.step() is not None:
+            pass
+        assert world_digest(handle.world) == before
+        assert world_digest(clone) != before
+
+    def test_clone_and_original_converge_deterministically(self):
+        """Same scheduler state => same continuation."""
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        op = handle.world.invoke_write(handle.writer_ids[0], 5)
+        clone = handle.world.fork()
+        handle.world.run_op_to_completion(op)
+        clone_op = clone.operations[op.op_id]
+        clone.run_until(lambda w: clone_op.is_complete)
+        assert forks_agree(handle.world, clone)
+
+    def test_cas_fork_independence(self):
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+        handle.world.invoke_write(handle.writer_ids[0], 100)
+        for _ in range(3):
+            handle.world.step()
+        clone = handle.world.fork()
+        before = world_digest(handle.world)
+        for _ in range(5):
+            clone.step()
+        assert world_digest(handle.world) == before
+
+
+class TestCompositeDigest:
+    def test_excludes_writer(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        writer = handle.writer_ids[0]
+        handle.world.invoke_write(writer, 5)
+        d_full = world_digest(handle.world)
+        d_partial = composite_digest(handle.world, (writer,))
+        # the writer's in-flight messages are excluded
+        assert d_full != d_partial
+        flat = str(d_partial)
+        assert writer not in flat
+
+    def test_equal_worlds_equal_composites(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        handle.write(5)
+        clone = handle.world.fork()
+        assert composite_digest(handle.world, ("w000",)) == composite_digest(
+            clone, ("w000",)
+        )

@@ -1,0 +1,75 @@
+"""Tests for execution traces."""
+
+from repro.registers.abd import build_abd_system
+from repro.sim.events import OperationRecord
+from repro.sim.trace import ExecutionTrace
+
+
+def make_trace(ops):
+    return ExecutionTrace(actions=[], operations=ops)
+
+
+def op(op_id, kind, invoke, response=None, client="c", value=1):
+    return OperationRecord(
+        op_id=op_id,
+        client=client,
+        kind=kind,
+        value=value,
+        invoke_step=invoke,
+        response_step=response,
+    )
+
+
+class TestActiveWrites:
+    def test_no_writes(self):
+        t = make_trace([op(0, "read", 1, 5)])
+        assert t.max_active_writes() == 0
+
+    def test_sequential_writes(self):
+        t = make_trace([op(0, "write", 1, 3), op(1, "write", 5, 8)])
+        assert t.max_active_writes() == 1
+
+    def test_overlapping_writes(self):
+        t = make_trace(
+            [op(0, "write", 1, 10), op(1, "write", 2, 9), op(2, "write", 3, 8)]
+        )
+        assert t.max_active_writes() == 3
+
+    def test_active_at_point(self):
+        t = make_trace([op(0, "write", 2, 6)])
+        assert t.active_writes_at(1) == 0
+        assert t.active_writes_at(2) == 1
+        assert t.active_writes_at(5) == 1
+        assert t.active_writes_at(6) == 0
+
+    def test_incomplete_write_stays_active(self):
+        t = make_trace([op(0, "write", 2, None)])
+        assert t.active_writes_at(1000) == 1
+        assert t.max_active_writes() == 1
+
+
+class TestCaptureAndQueries:
+    def test_capture_from_world(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        handle.write(3)
+        handle.read()
+        trace = ExecutionTrace.capture(handle.world)
+        assert len(trace.operations) == 2
+        assert len(trace.writes()) == 1
+        assert len(trace.reads()) == 1
+        assert trace.message_count() > 0
+        assert trace.last_step() == handle.world.step_count
+
+    def test_completed_operations(self):
+        t = make_trace([op(0, "write", 1, 5), op(1, "write", 6, None)])
+        assert [o.op_id for o in t.completed_operations()] == [0]
+
+    def test_operation_by_id(self):
+        t = make_trace([op(0, "write", 1, 5)])
+        assert t.operation_by_id(0).op_id == 0
+        assert t.operation_by_id(9) is None
+
+    def test_empty_trace(self):
+        t = make_trace([])
+        assert t.last_step() == 0
+        assert t.message_count() == 0

@@ -1,0 +1,60 @@
+"""Smaller World behaviours not covered elsewhere."""
+
+from repro.registers.abd import build_abd_system
+from repro.sim.network import World
+
+
+class TestTraceToggle:
+    def test_record_trace_off_skips_actions(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        handle.world.record_trace = False
+        handle.write(5)
+        assert handle.world.trace == []
+        # step counting still advances: points exist without the log
+        assert handle.world.step_count > 0
+
+    def test_operations_recorded_regardless(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        handle.world.record_trace = False
+        handle.write(5)
+        assert len(handle.world.operations) == 1
+
+
+class TestRepr:
+    def test_world_repr_mentions_counts(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        handle.world.invoke_write(handle.writer_ids[0], 1)
+        text = repr(handle.world)
+        assert "processes=5" in text
+        assert "in_flight=3" in text
+
+    def test_empty_world(self):
+        assert "processes=0" in repr(World())
+
+
+class TestChannelLazyCreation:
+    def test_channels_created_on_first_send(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        assert len(handle.world.channels) == 0
+        handle.world.invoke_write(handle.writer_ids[0], 1)
+        # writer -> each server
+        assert len(handle.world.channels) == 3
+
+    def test_channel_accessor_creates_empty(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        ch = handle.world.channel("s000", "s001")
+        assert len(ch) == 0
+        assert ("s000", "s001") in handle.world.channels
+
+
+class TestForkSchedulerState:
+    def test_round_robin_cursor_copied(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        w = handle.world
+        w.invoke_write(handle.writer_ids[0], 1)
+        w.step()
+        clone = w.fork()
+        # both continue identically from the same scheduler cursor
+        a = w.step()
+        b = clone.step()
+        assert (a.src, a.dst) == (b.src, b.dst)

@@ -1,0 +1,81 @@
+"""Tests for state-space accounting."""
+
+from repro.registers.abd import build_abd_system
+from repro.storage.accounting import StateSpaceAccountant
+
+
+class TestAccountant:
+    def test_observe_world(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        acc = StateSpaceAccountant()
+        acc.observe_world(handle.world)
+        handle.write(5)
+        acc.observe_world(handle.world)
+        report = acc.report()
+        assert report.observations == 2
+        assert all(count == 2 for count in report.per_server_states.values())
+
+    def test_duplicate_states_not_double_counted(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        acc = StateSpaceAccountant()
+        acc.observe_world(handle.world)
+        acc.observe_world(handle.world)
+        assert all(c == 1 for c in acc.report().per_server_states.values())
+
+    def test_subset_tracking(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4)
+        acc = StateSpaceAccountant(["s000"])
+        acc.observe_world(handle.world)
+        assert list(acc.report().per_server_states) == ["s000"]
+
+    def test_observe_digests(self):
+        acc = StateSpaceAccountant()
+        acc.observe_digests({"s0": (1,), "s1": (2,)})
+        acc.observe_digests({"s0": (1,), "s1": (3,)})
+        report = acc.report()
+        assert report.per_server_states == {"s0": 1, "s1": 2}
+
+    def test_merge(self):
+        a = StateSpaceAccountant()
+        b = StateSpaceAccountant()
+        a.observe_digests({"s0": (1,)})
+        b.observe_digests({"s0": (2,)})
+        a.merge(b)
+        assert a.report().per_server_states == {"s0": 2}
+
+    def test_distinct_states_query(self):
+        acc = StateSpaceAccountant()
+        acc.observe_digests({"s0": (1,)})
+        assert acc.distinct_states("s0") == 1
+        assert acc.distinct_states("ghost") == 0
+
+
+class TestReport:
+    def test_bits_are_log2_of_counts(self):
+        acc = StateSpaceAccountant()
+        for i in range(8):
+            acc.observe_digests({"s0": (i,), "s1": (i % 2,)})
+        report = acc.report()
+        assert report.per_server_bits["s0"] == 3.0
+        assert report.per_server_bits["s1"] == 1.0
+        assert report.total_bits == 4.0
+        assert report.max_bits == 3.0
+
+    def test_total_bits_over_subset(self):
+        acc = StateSpaceAccountant()
+        for i in range(4):
+            acc.observe_digests({"s0": (i,), "s1": (0,), "s2": (i,)})
+        report = acc.report()
+        assert report.total_bits_over(["s0", "s1"]) == 2.0
+
+    def test_abd_state_space_lower_bounds_value_space(self):
+        """Writing every value forces >= |V| states across servers."""
+        value_bits = 3
+        handle = build_abd_system(n=3, f=1, value_bits=value_bits)
+        acc = StateSpaceAccountant()
+        for v in range(1 << value_bits):
+            handle.write(v)
+            acc.observe_world(handle.world)
+        # each ABD server individually stores the full value
+        report = acc.report()
+        assert report.max_bits >= value_bits

@@ -1,0 +1,60 @@
+"""Tests for point-in-time storage measurement."""
+
+import pytest
+
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.storage.costs import peak_storage_during, storage_snapshot
+from repro.workload.patterns import concurrent_writes_driver
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        handle = build_abd_system(n=4, f=1, value_bits=8)
+        snap = storage_snapshot(handle)
+        assert len(snap.per_server_bits) == 4
+        assert snap.total_bits == 32.0
+        assert snap.max_bits == 8.0
+
+    def test_normalization(self):
+        handle = build_abd_system(n=4, f=1, value_bits=8)
+        snap = storage_snapshot(handle)
+        assert snap.normalized_total(8) == 4.0
+        assert snap.normalized_max(8) == 1.0
+
+    def test_metadata_flag(self):
+        handle = build_abd_system(n=4, f=1, value_bits=8)
+        with_meta = storage_snapshot(handle, count_metadata=True)
+        without = storage_snapshot(handle, count_metadata=False)
+        assert with_meta.total_bits > without.total_bits
+
+
+class TestPeakDuring:
+    def test_abd_peak_flat(self):
+        """ABD's peak equals its resting cost: N values, any concurrency."""
+        handle = build_abd_system(n=4, f=1, value_bits=8, num_writers=3)
+        peak = peak_storage_during(
+            handle, concurrent_writes_driver([1, 2, 3])
+        )
+        assert peak.normalized_total(8) == 4.0
+
+    def test_cas_peak_grows_with_concurrency(self):
+        handle1 = build_cas_system(n=5, f=1, value_bits=12, num_writers=1)
+        peak1 = peak_storage_during(handle1, concurrent_writes_driver([1]))
+        handle3 = build_cas_system(n=5, f=1, value_bits=12, num_writers=3)
+        peak3 = peak_storage_during(
+            handle3, concurrent_writes_driver([1, 2, 3])
+        )
+        assert peak3.total_bits > peak1.total_bits
+
+    def test_all_operations_complete(self):
+        handle = build_abd_system(n=4, f=1, value_bits=8, num_writers=2)
+        peak_storage_during(handle, concurrent_writes_driver([1, 2]))
+        assert not handle.world.pending_operations()
+
+    def test_driver_with_too_many_values_rejected(self):
+        from repro.errors import ConfigurationError
+
+        handle = build_abd_system(n=4, f=1, value_bits=8, num_writers=1)
+        with pytest.raises(ConfigurationError):
+            peak_storage_during(handle, concurrent_writes_driver([1, 2]))

@@ -1,0 +1,123 @@
+"""Tests for exact integer math helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BoundError
+from repro.util.intmath import (
+    binomial,
+    ceil_div,
+    exact_log2,
+    is_power_of_two,
+    log2_binomial,
+    log2_factorial,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_one(self):
+        assert ceil_div(1, 5) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_negative_divisor_rejected(self):
+        with pytest.raises(BoundError):
+            ceil_div(10, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b) or ceil_div(a, b) == -(-a // b)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for e in range(20):
+            assert is_power_of_two(1 << e)
+
+    def test_non_powers(self):
+        for n in (0, 3, 5, 6, 7, 9, 100, -4):
+            assert not is_power_of_two(n)
+
+
+class TestExactLog2:
+    def test_small_values(self):
+        assert exact_log2(1) == 0.0
+        assert exact_log2(2) == 1.0
+        assert exact_log2(1024) == 10.0
+
+    def test_non_power(self):
+        assert abs(exact_log2(10) - math.log2(10)) < 1e-12
+
+    def test_huge_power_of_two(self):
+        assert exact_log2(1 << 500) == 500.0
+
+    def test_huge_non_power(self):
+        n = (1 << 300) + (1 << 299)
+        assert abs(exact_log2(n) - (300 + math.log2(1.5))) < 1e-9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(BoundError):
+            exact_log2(0)
+        with pytest.raises(BoundError):
+            exact_log2(-5)
+
+    @given(st.integers(min_value=1, max_value=2**52))
+    def test_matches_float_log2_in_exact_range(self, n):
+        assert abs(exact_log2(n) - math.log2(n)) < 1e-12
+
+    @given(st.integers(min_value=1, max_value=2**200))
+    def test_monotone(self, n):
+        assert exact_log2(n + 1) >= exact_log2(n)
+
+
+class TestBinomial:
+    def test_known_values(self):
+        assert binomial(5, 2) == 10
+        assert binomial(10, 0) == 1
+        assert binomial(10, 10) == 1
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(5, 6) == 0
+        assert binomial(5, -1) == 0
+        assert binomial(-1, 0) == 0
+
+    def test_log2_binomial(self):
+        assert abs(log2_binomial(5, 2) - math.log2(10)) < 1e-12
+
+    def test_log2_binomial_zero_rejected(self):
+        with pytest.raises(BoundError):
+            log2_binomial(3, 5)
+
+    @given(st.integers(min_value=0, max_value=60),
+           st.integers(min_value=0, max_value=60))
+    def test_pascal_identity(self, n, k):
+        assert binomial(n + 1, k + 1) == binomial(n, k) + binomial(n, k + 1)
+
+
+class TestLog2Factorial:
+    def test_base_cases(self):
+        assert log2_factorial(0) == 0.0
+        assert log2_factorial(1) == 0.0
+
+    def test_small(self):
+        assert abs(log2_factorial(5) - math.log2(120)) < 1e-12
+
+    def test_rejects_negative(self):
+        with pytest.raises(BoundError):
+            log2_factorial(-1)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_recurrence(self, n):
+        assert abs(
+            log2_factorial(n) - (log2_factorial(n - 1) + exact_log2(n))
+        ) < 1e-9

@@ -1,0 +1,37 @@
+"""Tests for text-table rendering."""
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # all rows same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]], float_fmt=".2f")
+        assert "1.23" in out
+        assert "1.2345" not in out
+
+    def test_strings_pass_through(self):
+        out = format_table(["name"], [["hello"]])
+        assert "hello" in out
+
+    def test_header_separator(self):
+        out = format_table(["col"], [[1]])
+        assert "---" in out.splitlines()[1]
+
+    def test_indent(self):
+        out = format_table(["x"], [[1]], indent="  ")
+        assert all(line.startswith("  ") for line in out.splitlines())
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_mixed_types_in_column(self):
+        out = format_table(["v"], [[1], [2.5], ["x"]])
+        assert "2.5000" in out

@@ -1,0 +1,151 @@
+"""Tests for the exhaustive schedule explorer."""
+
+import pytest
+
+from repro.consistency.atomicity import check_atomicity
+from repro.consistency.regularity import check_regular
+from repro.registers.abd import build_abd_system
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.verification.explore import (
+    ScheduleExplorer,
+    explore_all_schedules,
+    replay_schedule,
+)
+
+
+def swmr_write_read_world():
+    """One write concurrent with one read, from the initial state."""
+    h = build_swmr_abd_system(n=3, f=1, value_bits=2, num_readers=1)
+    w = h.world
+    w.invoke_write(h.writer_ids[0], 1)
+    w.invoke_read(h.reader_ids[0])
+    return w
+
+
+def inversion_prefix_world():
+    """write(1) done; write(2) has landed at one server; read1 invoked."""
+    h = build_swmr_abd_system(n=3, f=1, value_bits=2, num_readers=2)
+    w = h.world
+    h.write(1)
+    w.deliver_all()
+    w.invoke_write(h.writer_ids[0], 2)
+    w.deliver(h.writer_ids[0], "s000")
+    w.invoke_read(h.reader_ids[0])
+    return w
+
+
+INVERSION_FOLLOWUPS = [(2, lambda world: world.invoke_read("r001"))]
+
+
+class TestExhaustivePositive:
+    def test_swmr_write_read_atomic_and_regular_under_all_schedules(self):
+        """Every interleaving of a write and a concurrent read is both
+        atomic and regular (a single read cannot witness an inversion).
+
+        This is exhaustive: ~10^4 states, ~700 maximal executions, the
+        complete interleaving space of the configuration.
+        """
+        result = explore_all_schedules(
+            swmr_write_read_world,
+            checker=lambda ops: check_atomicity(ops).ok
+            and check_regular(ops).ok,
+            max_states=50_000,
+        )
+        assert result.exhausted
+        assert result.ok
+        assert result.executions_checked > 100
+        assert result.incomplete_terminals == 0
+
+
+class TestCounterexampleHunt:
+    def test_inversion_found_mechanically(self):
+        explorer = ScheduleExplorer(
+            checker=lambda ops: check_atomicity(ops).ok,
+            followups=INVERSION_FOLLOWUPS,
+            stop_at_first_violation=True,
+            max_states=200_000,
+        )
+        result = explorer.explore(inversion_prefix_world())
+        assert result.violations
+        path, ops = result.violations[0]
+        reads = [op for op in ops if op.kind == "read"]
+        assert [r.value for r in reads] == [2, 1]  # new then old
+
+    def test_counterexample_replays(self):
+        explorer = ScheduleExplorer(
+            checker=lambda ops: check_atomicity(ops).ok,
+            followups=INVERSION_FOLLOWUPS,
+            stop_at_first_violation=True,
+            max_states=200_000,
+        )
+        result = explorer.explore(inversion_prefix_world())
+        path, ops = result.violations[0]
+
+        def rebuild():
+            world = inversion_prefix_world()
+            world.record_trace = False
+            # replay fires followups the way the explorer did
+            for src, dst in path:
+                ScheduleExplorer(
+                    followups=INVERSION_FOLLOWUPS
+                )._fire_followups(world, 3)
+                world.deliver(src, dst)
+            ScheduleExplorer(
+                followups=INVERSION_FOLLOWUPS
+            )._fire_followups(world, 3)
+            return world
+
+        replayed = rebuild()
+        replay_reads = [
+            op for op in replayed.operations if op.kind == "read"
+        ]
+        assert [r.value for r in replay_reads] == [2, 1]
+        assert not check_atomicity(replayed.operations).ok
+
+
+class TestBudgets:
+    def test_max_states_marks_not_exhausted(self):
+        result = explore_all_schedules(swmr_write_read_world, max_states=50)
+        assert not result.exhausted
+
+    def test_incomplete_terminals_counted(self):
+        """With 2 of 3 servers crashed, the write can never complete."""
+
+        def stuck_world():
+            h = build_abd_system(n=3, f=1, value_bits=2)
+            w = h.world
+            w.crash("s001")
+            w.crash("s002")
+            w.invoke_write(h.writer_ids[0], 1)
+            return w
+
+        result = explore_all_schedules(
+            stuck_world, checker=lambda ops: True, max_states=10_000
+        )
+        assert result.exhausted
+        assert result.incomplete_terminals == result.executions_checked > 0
+
+
+class TestFollowups:
+    def test_followup_fires_after_trigger(self):
+        fired_worlds = []
+
+        def follow(world):
+            fired_worlds.append(world.step_count)
+            world.invoke_read("r000")
+
+        def one_write():
+            h = build_swmr_abd_system(n=3, f=1, value_bits=2)
+            h.world.invoke_write(h.writer_ids[0], 1)
+            return h.world
+
+        explorer = ScheduleExplorer(
+            checker=lambda ops: check_regular(ops).ok,
+            followups=[(0, follow)],
+            max_states=100_000,
+        )
+        result = explorer.explore(one_write())
+        assert result.exhausted and result.ok
+        assert fired_worlds  # the read really ran in explored branches
+        # terminal executions contain both operations, completed
+        assert result.incomplete_terminals == 0

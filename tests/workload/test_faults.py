@@ -1,0 +1,60 @@
+"""Fault-injection tests: safety under crashes within the budget."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.atomicity import check_atomicity
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.workload.faults import run_crashy_workload
+
+
+class TestABDUnderCrashes:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_atomic_despite_crashes(self, seed):
+        handle = build_abd_system(
+            n=5, f=2, value_bits=4, num_writers=2, num_readers=2
+        )
+        result = run_crashy_workload(
+            handle, num_ops=10, seed=seed, crash_probability=0.02
+        )
+        assert len(result.crashed_servers) <= 2
+        assert all(op.is_complete for op in result.history)
+        assert check_atomicity(result.history.operations).ok
+
+    def test_deterministic(self):
+        def run():
+            handle = build_abd_system(
+                n=5, f=2, value_bits=4, num_writers=2, num_readers=2
+            )
+            result = run_crashy_workload(handle, num_ops=8, seed=42,
+                                         crash_probability=0.05)
+            return (
+                result.crashed_servers,
+                [(o.kind, o.value) for o in result.history],
+            )
+
+        assert run() == run()
+
+    def test_crash_budget_respected(self):
+        handle = build_abd_system(n=5, f=2, value_bits=4)
+        result = run_crashy_workload(
+            handle, num_ops=6, seed=1, crash_probability=0.5
+        )
+        assert len(result.crashed_servers) <= 2
+
+
+class TestCASUnderCrashes:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_atomic_despite_crashes(self, seed):
+        handle = build_cas_system(
+            n=7, f=2, value_bits=8, num_writers=2, num_readers=2
+        )
+        result = run_crashy_workload(
+            handle, num_ops=8, seed=seed, crash_probability=0.02
+        )
+        assert len(result.crashed_servers) <= 2
+        assert all(op.is_complete for op in result.history)
+        assert check_atomicity(result.history.operations).ok

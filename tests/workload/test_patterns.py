@@ -1,0 +1,75 @@
+"""Tests for canonical workload patterns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.storage.costs import peak_storage_during
+from repro.workload.patterns import (
+    concurrent_writes_driver,
+    measure_peak_storage_with_nu_writes,
+    staggered_writes_driver,
+)
+
+
+class TestConcurrentWritesDriver:
+    def test_all_writes_active_before_stepping(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4, num_writers=3)
+        concurrent_writes_driver([1, 2, 3])(handle)
+        assert len(handle.world.pending_operations()) == 3
+
+    def test_too_few_writers_rejected(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4, num_writers=1)
+        with pytest.raises(ConfigurationError):
+            concurrent_writes_driver([1, 2])(handle)
+
+
+class TestStaggeredDriver:
+    def test_writes_invoked_with_gaps(self):
+        handle = build_abd_system(n=3, f=1, value_bits=4, num_writers=2)
+        staggered_writes_driver([1, 2], steps_between=2)(handle)
+        invokes = [a for a in handle.world.trace if a.kind == "invoke"]
+        assert len(invokes) == 2
+        assert invokes[1].step - invokes[0].step > 1
+
+    def test_completes_under_peak_measurement(self):
+        handle = build_cas_system(
+            n=5, f=1, value_bits=12, num_writers=3
+        )
+        peak = peak_storage_during(handle, staggered_writes_driver([1, 2, 3]))
+        assert not handle.world.pending_operations()
+        assert peak.total_bits > 0
+
+
+class TestMeasurePeak:
+    def test_cas_peak_scales_with_nu(self):
+        def build(nu):
+            return build_cas_system(
+                n=5, f=1, value_bits=12, num_writers=max(1, nu)
+            )
+
+        peaks = [
+            measure_peak_storage_with_nu_writes(build, nu).normalized_total(12)
+            for nu in (1, 2, 4)
+        ]
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_abd_peak_flat_in_nu(self):
+        def build(nu):
+            return build_abd_system(
+                n=5, f=2, value_bits=8, num_writers=max(1, nu)
+            )
+
+        peaks = [
+            measure_peak_storage_with_nu_writes(build, nu).normalized_total(8)
+            for nu in (1, 3, 5)
+        ]
+        assert peaks[0] == peaks[1] == peaks[2] == 5.0
+
+    def test_explicit_values(self):
+        def build(nu):
+            return build_cas_system(n=5, f=1, value_bits=12, num_writers=nu)
+
+        snap = measure_peak_storage_with_nu_writes(build, 2, values=[7, 8])
+        assert snap.total_bits > 0
