@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples verify-proofs figure1 clean
+.PHONY: install test bench examples verify-proofs figure1 chaos clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,14 @@ verify-proofs:
 
 figure1:
 	$(PYTHON) -m repro figure1 --plot
+
+# Full chaos campaign: ABD/CAS/CASGC under 30 seeded fault configs each
+# (drops, duplication, reordering, partitions, crash-recovery).  A small
+# smoke profile of the same campaign runs in the default test suite
+# (tests/faults/test_campaign_smoke.py), so fault paths are exercised on
+# every PR; this target is the full sweep.
+chaos:
+	$(PYTHON) -m repro chaos --n 5 --f 1 --seeds 3
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -9,6 +9,7 @@ Commands
 ``verify``       run an executable-proof experiment against an algorithm
 ``assumptions``  audit a write protocol against Theorem 6.5's assumptions
 ``demo``         build a register, run a tiny workload, check consistency
+``chaos``        adversarial fault-injection campaign over all algorithms
 """
 
 from __future__ import annotations
@@ -196,6 +197,30 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if ok and value == 3 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import run_campaign, write_report
+
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1 (a zero-run campaign proves nothing)")
+        return 2
+    progress = (lambda line: print(f"  {line}")) if args.verbose else None
+    report = run_campaign(
+        algorithms=args.algorithms,
+        n=args.n,
+        f=args.f,
+        value_bits=args.value_bits,
+        seeds=range(args.seeds),
+        num_ops=args.ops,
+        max_ticks=args.max_ticks,
+        progress=progress,
+    )
+    print(report.format())
+    if args.out:
+        write_report(report, args.out)
+        print(f"\nreport written to {args.out}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -259,6 +284,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--value-bits", type=int, default=2)
     p.add_argument("--max-states", type=int, default=100_000)
     p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser(
+        "chaos", help="adversarial fault-injection campaign over all algorithms"
+    )
+    p.add_argument(
+        "--algorithms", nargs="+", choices=["abd", "cas", "casgc"],
+        default=["abd", "cas", "casgc"],
+    )
+    add_nf(p, n=5, f=1)
+    p.add_argument("--value-bits", type=int, default=6)
+    p.add_argument("--seeds", type=int, default=3,
+                   help="seeds per fault shape (>=2 gives >=20 configs/algorithm)")
+    p.add_argument("--ops", type=int, default=10, help="operations per run")
+    p.add_argument("--max-ticks", type=int, default=60_000)
+    p.add_argument("--out", default="benchmarks/results/chaos_campaign.txt",
+                   help="report path ('' to skip writing)")
+    p.add_argument("--verbose", action="store_true", help="per-run progress")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("communication", help="per-op message/bit costs")
     p.add_argument(

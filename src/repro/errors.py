@@ -37,6 +37,39 @@ class OperationIncompleteError(SimulationError):
     """A client operation was expected to terminate but did not."""
 
 
+class DeadlockDetectedError(OperationIncompleteError):
+    """Every non-empty channel is suppressed, so no delivery can ever run.
+
+    Raised instead of a silent spin-to-``max_steps`` when a
+    :class:`~repro.sim.scheduler.ChannelFilter` (or an active network
+    partition) blocks all undelivered messages.  ``blocked_channels``
+    carries the ``(src, dst)`` keys that hold messages but may not
+    deliver.  Subclasses :class:`OperationIncompleteError` so valency
+    probes that treat "stalled under this freeze" as an answer keep
+    working unchanged.
+    """
+
+    def __init__(self, message: str, blocked_channels=()):
+        super().__init__(message)
+        self.blocked_channels = tuple(blocked_channels)
+
+
+class StuckExecutionError(OperationIncompleteError):
+    """A monitored execution stopped making progress.
+
+    Raised by the liveness watchdog; ``diagnosis`` is a
+    :class:`repro.faults.watchdog.Diagnosis` explaining *why* the
+    execution is stuck (deadlock, unavailable quorum, unhealed
+    partition, exhausted step budget) instead of a bare timeout.
+    Subclasses :class:`OperationIncompleteError` so existing callers
+    that treat "did not terminate" generically keep working.
+    """
+
+    def __init__(self, message: str, diagnosis=None):
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
 class CodingError(ReproError):
     """Base class for erasure-coding errors."""
 

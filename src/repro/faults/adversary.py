@@ -1,0 +1,227 @@
+"""Adversarial channel behaviors: drops, duplication, reordering, partitions.
+
+The paper's bounds are proved against an adversary that may delay any
+message arbitrarily and crash up to ``f`` servers; related work
+(Spiegelman et al., *Space Bounds for Reliable Storage*) additionally
+lets the adversary lose and reorder messages.  A
+:class:`ChannelAdversary` installs those behaviors on a
+:class:`~repro.sim.network.World` (via ``world.adversary``), with every
+decision drawn from a :class:`~repro.util.rng.SeededRNG` so chaos runs
+replay bit-for-bit.
+
+Fault semantics
+---------------
+
+* **Drop** — a message is destroyed in transit (recorded as a ``lose``
+  action).  Drops are confined to channels touching the configured
+  ``lossy_processes`` set: quorum protocols have no retransmission, so
+  unrestricted loss breaks liveness even below the crash budget.  Keep
+  ``lossy_processes`` to at most ``f`` servers and the remaining
+  ``N - f`` reliable servers still form quorums — loss then behaves
+  like (recoverable) omission failures inside the fault budget.
+* **Duplicate** — the message is delivered *and* a copy is re-enqueued
+  at the channel tail, bounded by ``max_duplicates`` so chatter stays
+  finite.  Safe for any quorum protocol whose handlers are idempotent.
+* **Reorder** — the delivery takes a message up to ``reorder_window``
+  positions behind the head instead of the head (bounded out-of-order
+  delivery).  Never destroys messages, so liveness is unaffected.
+* **Partition** — a :class:`Partition` splits the process set into
+  groups; channels crossing the cut are *disabled* (messages stay
+  queued), exactly like a :class:`~repro.sim.scheduler.ChannelFilter`
+  freeze, and become deliverable again on :meth:`heal_partition`.
+
+The partition gate composes with channel filters: the World applies the
+filter first, then the partition, so proofs can run their freezes on a
+partitioned system.  :meth:`ChannelAdversary.as_filter` exposes the
+current partition as a plain ``ChannelFilter`` for explicit
+``intersect`` composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.events import Message
+from repro.sim.scheduler import ChannelFilter, ChannelKey
+from repro.util.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A split of the process ids into non-communicating groups.
+
+    Any pid not named in ``groups`` belongs to an implicit "rest"
+    group, so isolating a minority is just ``Partition.isolate(pids)``.
+    """
+
+    groups: Tuple[FrozenSet[str], ...]
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for group in self.groups:
+            overlap = seen & group
+            if overlap:
+                raise ConfigurationError(
+                    f"partition groups overlap on {sorted(overlap)}"
+                )
+            seen |= group
+
+    @classmethod
+    def isolate(cls, pids: Iterable[str]) -> "Partition":
+        """Cut ``pids`` off from everyone else (one explicit group)."""
+        return cls((frozenset(pids),))
+
+    @classmethod
+    def split(cls, *groups: Iterable[str]) -> "Partition":
+        """Partition into the given explicit groups (plus the rest)."""
+        return cls(tuple(frozenset(g) for g in groups))
+
+    def side_of(self, pid: str) -> int:
+        """Group index of ``pid`` (-1 for the implicit rest group)."""
+        for index, group in enumerate(self.groups):
+            if pid in group:
+                return index
+        return -1
+
+    def crosses(self, src: str, dst: str) -> bool:
+        """True iff the channel src->dst crosses the cut."""
+        return self.side_of(src) != self.side_of(dst)
+
+
+@dataclass(frozen=True)
+class AdversaryConfig:
+    """Seeded fault mix applied to deliveries.
+
+    Probabilities are per delivery attempt; all are 0 by default, so an
+    adversary with the default config behaves like reliable channels.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    #: How far behind the head a reordered delivery may reach.
+    reorder_window: int = 4
+    #: Drops apply only to channels touching these pids (the omission
+    #: fault targets).  Empty set = nothing is ever dropped.
+    lossy_processes: FrozenSet[str] = frozenset()
+    #: Hard caps keeping executions finite under high probabilities.
+    max_drops: Optional[int] = None
+    max_duplicates: int = 256
+
+    def validate(self) -> None:
+        """Reject nonsensical parameters."""
+        for name in ("drop_probability", "duplicate_probability", "reorder_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        if self.reorder_window < 1:
+            raise ConfigurationError(
+                f"reorder_window must be >= 1, got {self.reorder_window}"
+            )
+        if self.drop_probability > 0 and not self.lossy_processes:
+            raise ConfigurationError(
+                "drop_probability > 0 requires lossy_processes: unrestricted "
+                "loss breaks liveness below the crash budget"
+            )
+        if self.max_drops is not None and self.max_drops < 0:
+            raise ConfigurationError(f"max_drops must be >= 0, got {self.max_drops}")
+        if self.max_duplicates < 0:
+            raise ConfigurationError(
+                f"max_duplicates must be >= 0, got {self.max_duplicates}"
+            )
+
+
+class ChannelAdversary:
+    """Stateful, seeded fault injector consulted by ``World.deliver``.
+
+    Install with ``world.adversary = adversary``.  Deep-copyable (the
+    RNG snapshots its state), so forked Worlds replay identically.
+    """
+
+    def __init__(self, config: Optional[AdversaryConfig] = None, seed: int = 0) -> None:
+        self.config = config or AdversaryConfig()
+        self.config.validate()
+        self.rng = SeededRNG(seed, "channel-adversary")
+        self.partition: Optional[Partition] = None
+        # Injection counters (also used to enforce the hard caps).
+        self.drops = 0
+        self.duplicates = 0
+        self.reorders = 0
+        self.partitions_started = 0
+        self.heals = 0
+
+    # -- partition gate (consulted by World.enabled_channels) ----------------
+
+    def allows(self, src: str, dst: str) -> bool:
+        """False iff an active partition puts src and dst on different sides."""
+        return self.partition is None or not self.partition.crosses(src, dst)
+
+    def start_partition(self, partition: Partition) -> None:
+        """Activate a partition (replaces any active one)."""
+        self.partition = partition
+        self.partitions_started += 1
+
+    def heal_partition(self) -> None:
+        """Reconnect everyone; queued cross-cut messages become deliverable."""
+        if self.partition is not None:
+            self.partition = None
+            self.heals += 1
+
+    def as_filter(self) -> ChannelFilter:
+        """The current partition as a composable :class:`ChannelFilter`."""
+        return ChannelFilter(self.allows, "partition")
+
+    # -- per-delivery decisions (consulted by World.deliver) -----------------
+
+    def pick_index(self, key: ChannelKey, queue_length: int) -> int:
+        """Queue index this delivery takes (0 = head, FIFO)."""
+        cfg = self.config
+        if (
+            queue_length > 1
+            and cfg.reorder_probability > 0
+            and self.rng.random() < cfg.reorder_probability
+        ):
+            index = self.rng.randint(0, min(cfg.reorder_window, queue_length) - 1)
+            if index:
+                self.reorders += 1
+            return index
+        return 0
+
+    def fate(self, src: str, dst: str, message: Message) -> str:
+        """``"drop"``, ``"duplicate"``, or ``"deliver"`` for this message."""
+        cfg = self.config
+        if (
+            cfg.drop_probability > 0
+            and (src in cfg.lossy_processes or dst in cfg.lossy_processes)
+            and (cfg.max_drops is None or self.drops < cfg.max_drops)
+            and self.rng.random() < cfg.drop_probability
+        ):
+            self.drops += 1
+            return "drop"
+        if (
+            cfg.duplicate_probability > 0
+            and self.duplicates < cfg.max_duplicates
+            and self.rng.random() < cfg.duplicate_probability
+        ):
+            self.duplicates += 1
+            return "duplicate"
+        return "deliver"
+
+    def stats(self) -> dict:
+        """Injection counters, for reports and tests."""
+        return {
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "reorders": self.reorders,
+            "partitions": self.partitions_started,
+            "heals": self.heals,
+        }
+
+    def __repr__(self) -> str:
+        part = "partitioned" if self.partition is not None else "connected"
+        return (
+            f"ChannelAdversary({part}, drops={self.drops}, "
+            f"dups={self.duplicates}, reorders={self.reorders})"
+        )

@@ -1,0 +1,451 @@
+"""Chaos campaigns: sweep seeded fault mixes over every register algorithm.
+
+A campaign builds each register system (ABD, CAS, CASGC) under a grid
+of :class:`FaultConfig` fault mixes — message drops, duplication,
+bounded reordering, dynamic partitions (healing and permanent), and
+crash-recovery timelines — drives a random workload through each, and
+asserts the paper's contract empirically:
+
+* **Safety always**: every produced history must be atomic, no matter
+  the fault mix (including over-budget crashes and permanent
+  partitions).
+* **Liveness within the budget**: every invoked operation must complete
+  whenever concurrently-failed servers stay within ``f``, loss is
+  confined to at most ``f`` servers, and partitions heal.
+* **No silent hangs**: when liveness legitimately fails (over-budget
+  crashes, unhealed partitions), the watchdog must produce a structured
+  :class:`~repro.faults.watchdog.Diagnosis` instead of a timeout.
+
+``python -m repro chaos`` runs a campaign from the command line and
+writes the summary report into ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.consistency.atomicity import check_atomicity
+from repro.consistency.history import History
+from repro.errors import StuckExecutionError
+from repro.faults.adversary import AdversaryConfig, ChannelAdversary, Partition
+from repro.faults.recovery import CrashRecoverySchedule
+from repro.faults.watchdog import Diagnosis, LivenessWatchdog
+from repro.registers.abd import build_abd_system
+from repro.registers.base import SystemHandle
+from repro.registers.cas import build_cas_system
+from repro.registers.casgc import build_casgc_system
+from repro.util.rng import SeededRNG
+from repro.util.tables import format_table
+
+#: Algorithms a campaign exercises; all are MWMR-atomic so one safety
+#: checker (linearizability) covers them.
+CAMPAIGN_ALGORITHMS: Dict[str, Callable[..., SystemHandle]] = {
+    "abd": lambda n, f, vb: build_abd_system(
+        n=n, f=f, value_bits=vb, num_writers=2, num_readers=2
+    ),
+    "cas": lambda n, f, vb: build_cas_system(
+        n=n, f=f, value_bits=vb, num_writers=2, num_readers=2
+    ),
+    "casgc": lambda n, f, vb: build_casgc_system(
+        n=n, f=f, value_bits=vb, num_writers=2, num_readers=2, gc_depth=2
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One seeded fault mix, declarative and algorithm-agnostic.
+
+    Process ids are resolved against the built system (all builders use
+    the canonical ``s00i``/``w00i``/``r00i`` naming).  ``expect_liveness``
+    encodes the paper's contract for this mix: True means every invoked
+    operation must terminate; False means the mix intentionally exceeds
+    the fault budget (or never heals), so stalls are legitimate — but
+    must be *diagnosed*, never silent.
+    """
+
+    name: str
+    seed: int = 0
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    reorder_window: int = 4
+    #: How many servers are fault targets (lossy and/or crash-recovering).
+    #: Kept within ``f`` for expect_liveness mixes.
+    fault_target_count: int = 0
+    partition_at: Optional[int] = None  # driver tick; None = no partition
+    heal_at: Optional[int] = None  # None with partition_at set = never heals
+    crash_recovery: bool = False  # stagger crash/recover over the targets
+    crash_over_budget: bool = False  # deliberately crash f+1 servers
+    expect_liveness: bool = True
+
+    def label(self) -> str:
+        return f"{self.name}#{self.seed}"
+
+
+#: The campaign's fault-shape grid: (name, overrides).  Ten shapes, so
+#: ``seeds >= 2`` gives every algorithm at least 20 seeded configs.
+FAULT_SHAPES: Tuple[Tuple[str, dict], ...] = (
+    ("clean", {}),
+    ("drops", {"drop_probability": 0.3, "fault_target_count": -1}),
+    ("dups", {"duplicate_probability": 0.2}),
+    # Mild duplication deepens the queues so reordering has something
+    # to act on (fair delivery keeps reliable FIFO channels shallow).
+    (
+        "reorder",
+        {
+            "reorder_probability": 0.6,
+            "reorder_window": 4,
+            "duplicate_probability": 0.15,
+        },
+    ),
+    ("partition-heal", {"partition_at": 40, "heal_at": 240}),
+    ("crash-recover", {"crash_recovery": True, "fault_target_count": -1}),
+    (
+        "lossy-crashy",
+        {
+            "drop_probability": 0.25,
+            "crash_recovery": True,
+            "fault_target_count": -1,
+        },
+    ),
+    (
+        "kitchen-sink",
+        {
+            "drop_probability": 0.2,
+            "duplicate_probability": 0.1,
+            "reorder_probability": 0.3,
+            "crash_recovery": True,
+            "fault_target_count": -1,
+            "partition_at": 60,
+            "heal_at": 260,
+        },
+    ),
+    (
+        "partition-forever",
+        {"partition_at": 40, "heal_at": None, "expect_liveness": False},
+    ),
+    ("crash-over-budget", {"crash_over_budget": True, "expect_liveness": False}),
+)
+
+
+def generate_fault_configs(f: int, seeds: Sequence[int]) -> List[FaultConfig]:
+    """The campaign grid: every fault shape at every seed.
+
+    A ``fault_target_count`` of -1 in a shape means "the full budget
+    ``f``"; it is resolved here.
+    """
+    configs: List[FaultConfig] = []
+    for seed in seeds:
+        for name, overrides in FAULT_SHAPES:
+            resolved = dict(overrides)
+            if resolved.get("fault_target_count") == -1:
+                resolved["fault_target_count"] = f
+            configs.append(FaultConfig(name=name, seed=seed, **resolved))
+    return configs
+
+
+# -- per-run wiring ----------------------------------------------------------
+
+
+def _fault_targets(config: FaultConfig, handle: SystemHandle) -> List[str]:
+    """The servers subject to loss/crash-recovery (the last ones, so the
+    low-indexed servers form an always-reliable quorum)."""
+    count = min(config.fault_target_count, handle.f)
+    return handle.server_ids[handle.n - count :] if count else []
+
+
+def _adversary_for(config: FaultConfig, handle: SystemHandle) -> ChannelAdversary:
+    return ChannelAdversary(
+        AdversaryConfig(
+            drop_probability=config.drop_probability,
+            duplicate_probability=config.duplicate_probability,
+            reorder_probability=config.reorder_probability,
+            reorder_window=config.reorder_window,
+            lossy_processes=frozenset(_fault_targets(config, handle)),
+        ),
+        seed=config.seed,
+    )
+
+
+def _partition_for(config: FaultConfig, handle: SystemHandle) -> Partition:
+    """Isolate one reader plus one server: the cut client's operations
+    stall until the heal (or forever), the rest keep a full quorum."""
+    return Partition.isolate([handle.reader_ids[0], handle.server_ids[-1]])
+
+
+def _schedule_for(config: FaultConfig, handle: SystemHandle) -> CrashRecoverySchedule:
+    events: List[Tuple[str, int, Optional[int]]] = []
+    if config.crash_over_budget:
+        for sid in handle.server_ids[: handle.f + 1]:
+            events.append((sid, 25, None))
+        return CrashRecoverySchedule(tuple(events))
+    if config.crash_recovery:
+        for j, sid in enumerate(_fault_targets(config, handle)):
+            start = 30 + 25 * j
+            # Two crash/recover rounds: cumulative crashes exceed f while
+            # concurrent downs never do — liveness must survive.
+            events.append((sid, start, start + 80))
+            events.append((sid, start + 160, start + 240))
+    schedule = CrashRecoverySchedule(tuple(events))
+    schedule.validate(handle.world, handle.f)
+    return schedule
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one (algorithm, fault config) chaos run."""
+
+    algorithm: str
+    config: FaultConfig
+    invoked: int
+    completed: int
+    live: bool
+    safety_ok: bool
+    safety_reason: str
+    diagnosis: Optional[Diagnosis]
+    steps: int
+    fault_stats: dict = field(default_factory=dict)
+    crashes: int = 0
+    recoveries: int = 0
+
+    @property
+    def acceptable(self) -> bool:
+        """Does this run satisfy the campaign contract?"""
+        if not self.safety_ok:
+            return False
+        if self.config.expect_liveness:
+            return self.live
+        # Liveness may legitimately fail here, but never silently.
+        return self.live or self.diagnosis is not None
+
+    def verdict(self) -> str:
+        if self.live:
+            return "live"
+        return self.diagnosis.verdict if self.diagnosis else "silent-hang"
+
+
+def run_chaos_workload(
+    handle: SystemHandle,
+    config: FaultConfig,
+    num_ops: int = 10,
+    max_ticks: int = 60_000,
+) -> ChaosRunResult:
+    """Drive a seeded random workload under ``config``'s fault mix.
+
+    The driver owns the fault timeline clock (watchdog ticks): crash,
+    recover, partition and heal events fire by tick even while the
+    World momentarily cannot step.  A stall is only declared hopeless —
+    and diagnosed — once no future timeline event could unblock it.
+    """
+    world = handle.world
+    adversary = _adversary_for(config, handle)
+    world.adversary = adversary
+    schedule = _schedule_for(config, handle)
+    applied: set = set()
+    rng = SeededRNG(config.seed, f"chaos-driver:{config.name}")
+    watchdog = LivenessWatchdog(
+        world, quorum=handle.params.get("quorum"), max_ticks=max_ticks
+    )
+    clients = list(handle.writer_ids) + list(handle.reader_ids)
+    steps_before = world.step_count
+    invoked = 0
+    partition_started = healed = False
+    diagnosis: Optional[Diagnosis] = None
+
+    def idle_clients() -> List[str]:
+        return [
+            pid
+            for pid in clients
+            if world.process(pid).pending_op_id is None  # type: ignore[attr-defined]
+            and not world.process(pid).failed
+        ]
+
+    while True:
+        try:
+            watchdog.tick()
+        except StuckExecutionError as exc:
+            diagnosis = exc.diagnosis
+            break
+        tick = watchdog.ticks
+        schedule.apply(world, tick, applied)
+        if (
+            config.partition_at is not None
+            and not partition_started
+            and tick >= config.partition_at
+        ):
+            adversary.start_partition(_partition_for(config, handle))
+            partition_started = True
+        if config.heal_at is not None and not healed and tick >= config.heal_at:
+            adversary.heal_partition()
+            healed = True
+        if invoked < num_ops and rng.random() < 0.4:
+            pool = idle_clients()
+            if pool:
+                pid = rng.choice(pool)
+                if pid in handle.writer_ids:
+                    world.invoke_write(
+                        pid, rng.randint(0, handle.value_space_size - 1)
+                    )
+                else:
+                    world.invoke_read(pid)
+                invoked += 1
+                continue
+        if world.step() is not None:
+            continue
+        # Nothing delivered this tick.
+        if invoked >= num_ops and not world.pending_operations():
+            break  # all done
+        if config.partition_at is not None and not partition_started:
+            continue  # partition (and its heal) still ahead
+        if config.heal_at is not None and not healed:
+            continue  # a heal will re-enable the blocked channels
+        if not schedule.done(applied):
+            continue  # a scheduled crash/recovery is still ahead
+        if invoked < num_ops and idle_clients():
+            continue  # more invocations coming
+        diagnosis = watchdog.diagnose()
+        break
+
+    history = History.from_world(world)
+    completed = len(history.completed())
+    live = invoked == num_ops and completed == len(history)
+    verdict = check_atomicity(history)
+    crashes = sum(1 for a in world.trace if a.kind == "crash")
+    recoveries = sum(1 for a in world.trace if a.kind == "recover")
+    return ChaosRunResult(
+        algorithm=handle.algorithm,
+        config=config,
+        invoked=invoked,
+        completed=completed,
+        live=live,
+        safety_ok=verdict.ok,
+        safety_reason=verdict.reason,
+        diagnosis=None if live else diagnosis,
+        steps=world.step_count - steps_before,
+        fault_stats=adversary.stats(),
+        crashes=crashes,
+        recoveries=recoveries,
+    )
+
+
+# -- the campaign ------------------------------------------------------------
+
+
+@dataclass
+class CampaignReport:
+    """All runs of a chaos campaign plus the pass/fail roll-up."""
+
+    n: int
+    f: int
+    value_bits: int
+    num_ops: int
+    results: List[ChaosRunResult] = field(default_factory=list)
+
+    def failures(self) -> List[ChaosRunResult]:
+        return [r for r in self.results if not r.acceptable]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures()
+
+    def configs_per_algorithm(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.results:
+            counts[r.algorithm] = counts.get(r.algorithm, 0) + 1
+        return counts
+
+    HEADERS = (
+        "algorithm",
+        "config",
+        "seed",
+        "ops",
+        "done",
+        "verdict",
+        "safe",
+        "losses",
+        "dups",
+        "reorders",
+        "crashes",
+        "recoveries",
+        "steps",
+    )
+
+    def rows(self) -> List[tuple]:
+        return [
+            (
+                r.algorithm,
+                r.config.name,
+                r.config.seed,
+                r.invoked,
+                r.completed,
+                r.verdict(),
+                "ok" if r.safety_ok else "VIOLATED",
+                r.fault_stats.get("drops", 0),
+                r.fault_stats.get("duplicates", 0),
+                r.fault_stats.get("reorders", 0),
+                r.crashes,
+                r.recoveries,
+                r.steps,
+            )
+            for r in self.results
+        ]
+
+    def format(self) -> str:
+        lines = [
+            f"chaos campaign: N={self.n}, f={self.f}, "
+            f"value_bits={self.value_bits}, ops/run={self.num_ops}",
+            "",
+            format_table(self.HEADERS, self.rows()),
+            "",
+        ]
+        counts = self.configs_per_algorithm()
+        for algorithm in sorted(counts):
+            lines.append(f"{algorithm}: {counts[algorithm]} fault configs")
+        stalls = [r for r in self.results if not r.live]
+        lines.append(
+            f"runs: {len(self.results)} total, "
+            f"{len(self.results) - len(stalls)} live, {len(stalls)} diagnosed stalls"
+        )
+        lines.append(f"campaign {'PASSED' if self.passed else 'FAILED'}")
+        for r in self.failures():
+            lines.append(
+                f"  FAIL {r.algorithm}/{r.config.label()}: "
+                f"safety={'ok' if r.safety_ok else r.safety_reason}, "
+                f"verdict={r.verdict()}"
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    algorithms: Sequence[str] = ("abd", "cas", "casgc"),
+    n: int = 5,
+    f: int = 1,
+    value_bits: int = 6,
+    seeds: Sequence[int] = (0, 1, 2),
+    num_ops: int = 10,
+    max_ticks: int = 60_000,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Run every algorithm under every generated fault config."""
+    report = CampaignReport(n=n, f=f, value_bits=value_bits, num_ops=num_ops)
+    configs = generate_fault_configs(f, list(seeds))
+    for algorithm in algorithms:
+        builder = CAMPAIGN_ALGORITHMS[algorithm]
+        for config in configs:
+            handle = builder(n, f, value_bits)
+            result = run_chaos_workload(handle, config, num_ops, max_ticks)
+            report.results.append(result)
+            if progress is not None:
+                progress(
+                    f"{algorithm}/{config.label()}: {result.verdict()}"
+                    f"{'' if result.safety_ok else ' SAFETY VIOLATED'}"
+                )
+    return report
+
+
+def write_report(report: CampaignReport, path: str) -> None:
+    """Persist the formatted report (benchmarks/results convention)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(report.format() + "\n")

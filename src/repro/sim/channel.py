@@ -30,6 +30,17 @@ class Channel:
         """Pop the head message (caller checks non-emptiness)."""
         return self._queue.popleft()
 
+    def dequeue_at(self, index: int) -> Message:
+        """Remove and return the message at ``index`` (0 = head).
+
+        Used only by adversarial (reordering) deliveries; well-behaved
+        channels always take the head.  The caller is responsible for
+        keeping ``index`` within the current queue length.
+        """
+        message = self._queue[index]
+        del self._queue[index]
+        return message
+
     def peek(self) -> Optional[Message]:
         """Head message without removing it, or None if empty."""
         return self._queue[0] if self._queue else None

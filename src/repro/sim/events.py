@@ -46,8 +46,10 @@ class Message:
 class ActionRecord:
     """One step of an execution.
 
-    ``kind`` is one of ``"deliver"``, ``"invoke"``, ``"crash"``, or
-    ``"drop"`` (a delivery consumed by a failed process).  After the
+    ``kind`` is one of ``"deliver"``, ``"invoke"``, ``"crash"``,
+    ``"recover"`` (a crashed process rejoining from persisted state),
+    ``"drop"`` (a delivery consumed by a failed process), or ``"lose"``
+    (a message destroyed in transit by a channel adversary).  After the
     i-th action the system is at point ``i`` (points are 0-indexed with
     point 0 the initial state, so action i moves point i-1 to point i).
     """

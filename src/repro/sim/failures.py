@@ -4,6 +4,13 @@ The lower-bound executions always fail a fixed set of ``f`` servers at
 the very beginning of the execution (Section 4.3.1); workloads may also
 crash servers mid-execution.  A :class:`FailurePattern` is a declarative
 description applied to a World.
+
+Crashes here are permanent.  For crash-*recovery* timelines (servers
+that crash and later rejoin from persisted state via
+:meth:`~repro.sim.network.World.recover`), see
+:class:`repro.faults.recovery.CrashRecoverySchedule`, which generalizes
+:class:`FailurePattern` and budgets *concurrent* rather than cumulative
+server failures.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ import copy
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
+    DeadlockDetectedError,
     OperationIncompleteError,
     ProcessFailedError,
     SimulationError,
@@ -49,6 +50,11 @@ class World:
         self.operations: List[OperationRecord] = []
         self._next_op_id = 0
         self.record_trace = True
+        #: Optional :class:`repro.faults.adversary.ChannelAdversary`.
+        #: When set, deliveries may be lost, duplicated or reordered and
+        #: an active partition gates which channels are enabled.  The
+        #: executable proofs never install one — channels stay reliable.
+        self.adversary = None
 
     # -- topology ------------------------------------------------------------
 
@@ -129,7 +135,9 @@ class World:
         """Non-empty channels permitted by the filter, sorted.
 
         Message-aware filters see the head message of each channel, so
-        a blocked head (FIFO) disables the whole channel.
+        a blocked head (FIFO) disables the whole channel.  An installed
+        adversary's active partition additionally disables channels
+        crossing the cut (their messages stay queued until a heal).
         """
         keys = [key for key, ch in self.channels.items() if ch]
         if channel_filter is not None:
@@ -138,7 +146,13 @@ class World:
                 for k in keys
                 if channel_filter.allows(*k, head_message=self.channels[k].peek())
             ]
+        if self.adversary is not None:
+            keys = [k for k in keys if self.adversary.allows(*k)]
         return sorted(keys)
+
+    def undelivered_channels(self) -> List[ChannelKey]:
+        """All non-empty channel keys, sorted (ignores filters/partitions)."""
+        return sorted(key for key, ch in self.channels.items() if ch)
 
     def deliver(self, src: str, dst: str) -> ActionRecord:
         """Execute the delivery action on channel src->dst.
@@ -146,14 +160,30 @@ class World:
         If the destination has crashed, the message is consumed without
         a handler call (recorded as a ``drop``), matching the model
         where a failed process takes no further steps.
+
+        With an adversary installed the delivery may additionally pick
+        a non-head message (bounded reordering), lose the message in
+        transit (recorded as ``lose``), or re-enqueue a duplicate at the
+        channel tail before delivering.
         """
         channel = self.channel(src, dst)
         if not channel:
             raise SimulationError(f"channel {src}->{dst} is empty")
-        message = channel.dequeue()
+        adversary = self.adversary
+        if adversary is not None:
+            message = channel.dequeue_at(adversary.pick_index((src, dst), len(channel)))
+        else:
+            message = channel.dequeue()
         receiver = self.process(dst)
         if receiver.failed:
             return self._record("drop", src, dst, message.kind)
+        if adversary is not None:
+            fate = adversary.fate(src, dst, message)
+            if fate == "drop":
+                return self._record("lose", src, dst, message.kind)
+            if fate == "duplicate":
+                # Message is immutable, so the copy may be shared.
+                channel.enqueue(message)
         record = self._record("deliver", src, dst, message.kind)
         receiver.on_message(ProcessContext(self, dst), src, message)
         return record
@@ -177,6 +207,26 @@ class World:
         process = self.process(pid)
         process.failed = True
         return self._record("crash", src=pid)
+
+    def recover(self, pid: str) -> ActionRecord:
+        """Recover a crashed process from its persisted local state.
+
+        The process rejoins with exactly the state it had at the crash
+        point (the simulator never wipes it — this models durable local
+        storage).  Messages consumed as ``drop`` while it was down are
+        *not* replayed.  Servers get their
+        :meth:`~repro.sim.process.ServerProcess.on_recover` hook called
+        so protocols can re-synchronize.
+        """
+        process = self.process(pid)
+        if not process.failed:
+            raise SimulationError(f"process {pid!r} is not failed; cannot recover")
+        process.failed = False
+        record = self._record("recover", src=pid)
+        on_recover = getattr(process, "on_recover", None)
+        if on_recover is not None:
+            on_recover(ProcessContext(self, pid))
+        return record
 
     # -- client operations -----------------------------------------------------
 
@@ -227,13 +277,24 @@ class World:
         """Step fairly until ``predicate(self)`` holds.
 
         Returns the number of steps taken.  Raises
-        :class:`OperationIncompleteError` if the system quiesces (no
-        enabled actions) or ``max_steps`` elapse first.
+        :class:`DeadlockDetectedError` if messages remain queued but the
+        filter (or an active partition) suppresses every non-empty
+        channel, :class:`OperationIncompleteError` if the system truly
+        quiesces (no messages anywhere), and the latter again if
+        ``max_steps`` elapse first.
         """
         taken = 0
         while not predicate(self):
             record = self.step(channel_filter)
             if record is None:
+                blocked = self.undelivered_channels()
+                if blocked:
+                    raise DeadlockDetectedError(
+                        f"{len(blocked)} channel(s) hold undelivered messages "
+                        "but none is enabled "
+                        f"(filter={channel_filter!r}, blocked={blocked})",
+                        blocked_channels=blocked,
+                    )
                 raise OperationIncompleteError(
                     "system quiesced before predicate held "
                     f"(filter={channel_filter!r})"

@@ -74,7 +74,23 @@ class Process:
 
 
 class ServerProcess(Process):
-    """Marker base class for servers (storage-cost accounting targets)."""
+    """Base class for servers (storage-cost accounting targets).
+
+    Servers support *crash-recovery*: :meth:`repro.sim.network.World.recover`
+    clears the failed flag and invokes :meth:`on_recover`, modelling a
+    server that rejoins from persisted local state (its state at the
+    crash point — the simulator never wipes it).  Messages delivered
+    while the server was down were consumed as ``drop`` actions and are
+    not replayed.
+    """
+
+    def on_recover(self, ctx: ProcessContext) -> None:
+        """Hook run when the server rejoins after a crash.
+
+        The default is a no-op (state is already persisted); protocols
+        that need re-synchronization (e.g. announcing themselves or
+        requesting missed updates) override this and may send messages.
+        """
 
 
 class ClientProcess(Process):

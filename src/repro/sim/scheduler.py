@@ -150,16 +150,39 @@ class Scheduler:
 
 
 class RoundRobinScheduler(Scheduler):
-    """Fair cyclic selection over the sorted channel keys."""
+    """Fair cyclic selection over a persistent order of known keys.
+
+    The cyclic order is over *all* channel keys ever seen, not just the
+    currently enabled ones: indexing a cursor into a freshly sorted
+    ``enabled`` list is unfair when membership changes between calls (a
+    key that keeps landing just behind the cursor can be starved
+    forever).  Here each selection resumes the scan from the last
+    position, so between two selections of the same key every other
+    key that stayed enabled is selected at least once — genuine
+    round-robin fairness under churn.
+    """
 
     def __init__(self) -> None:
+        self._order: List[ChannelKey] = []
+        self._known: set = set()
         self._cursor = 0
 
     def select(self, world: "World", enabled: List[ChannelKey]) -> ChannelKey:
-        ordered = sorted(enabled)
-        choice = ordered[self._cursor % len(ordered)]
-        self._cursor += 1
-        return choice
+        for key in sorted(enabled):
+            if key not in self._known:
+                self._known.add(key)
+                self._order.append(key)
+        enabled_set = set(enabled)
+        total = len(self._order)
+        for offset in range(total):
+            index = (self._cursor + offset) % total
+            key = self._order[index]
+            if key in enabled_set:
+                self._cursor = index + 1
+                return key
+        raise SchedulerExhaustedError(
+            "no enabled channel found in round-robin order"
+        )  # pragma: no cover - every enabled key is in the order
 
 
 class RandomScheduler(Scheduler):

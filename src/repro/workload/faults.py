@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.consistency.history import History
-from repro.errors import OperationIncompleteError
+from repro.errors import StuckExecutionError
+from repro.faults.watchdog import diagnose_stall
 from repro.registers.base import SystemHandle
 from repro.util.rng import SeededRNG
 
@@ -59,9 +60,13 @@ def run_crashy_workload(
     while invoked < num_ops or world.pending_operations():
         ticks += 1
         if ticks > max_steps:
-            raise OperationIncompleteError(
+            diagnosis = diagnose_stall(
+                world, quorum=handle.params.get("quorum"), budget_exhausted=True
+            )
+            raise StuckExecutionError(
                 f"faulty workload stalled after {max_steps} ticks "
-                f"(crashed={crashed})"
+                f"(crashed={crashed}): {diagnosis.summary()}",
+                diagnosis,
             )
         if (
             len(crashed) < handle.f
@@ -90,6 +95,14 @@ def run_crashy_workload(
                 invoked += 1
                 continue
         if world.step() is None and invoked >= num_ops:
+            if world.pending_operations():
+                # Quiesced with operations pending: since crashes never
+                # exceed f this should be unreachable for a correct
+                # algorithm — diagnose instead of spinning to max_steps.
+                diagnosis = diagnose_stall(
+                    world, quorum=handle.params.get("quorum")
+                )
+                raise StuckExecutionError(diagnosis.summary(), diagnosis)
             break
 
     return FaultyWorkloadResult(

@@ -64,6 +64,41 @@ class TestRoundRobin:
         picks = {sched.select(None, enabled) for _ in range(7)}
         assert picks == set(enabled)
 
+    def test_no_starvation_under_churn(self):
+        # Regression: indexing a cursor into the freshly sorted enabled
+        # list starved channels when membership changed between calls —
+        # under this periodic pattern the last-sorting channel was picked
+        # only 5 times in 60 despite being enabled in every round.  The
+        # persistent cyclic order must serve it once per cycle.
+        pattern = [
+            [("a", "x"), ("b", "x"), ("m", "x"), ("z", "x")],
+            [("a", "x"), ("b", "x"), ("m", "x"), ("z", "x")],
+            [("m", "x"), ("z", "x")],
+            [("b", "x"), ("m", "x"), ("z", "x")],
+        ]
+        sched = RoundRobinScheduler()
+        picks = [sched.select(None, pattern[i % 4]) for i in range(60)]
+        count = picks.count(("z", "x"))
+        # Four distinct keys ever seen, so an always-enabled key is
+        # selected at least once every four calls.
+        assert count >= 15, f"z starved: picked {count}/60"
+
+    def test_gap_bound_for_always_enabled_channel(self):
+        # Between two selections of an always-enabled key, the cursor
+        # sweeps the whole order at most once: gap <= distinct keys seen.
+        import random
+
+        rng = random.Random(9)
+        universe = [(name, "x") for name in "abcdefg"]
+        steady = ("m", "x")
+        sched = RoundRobinScheduler()
+        last_pick = -1
+        for step in range(200):
+            enabled = [k for k in universe if rng.random() < 0.5] + [steady]
+            if sched.select(None, sorted(enabled)) == steady:
+                last_pick = step
+            assert step - last_pick <= len(universe) + 1
+
 
 class TestRandom:
     def test_deterministic_for_seed(self):
