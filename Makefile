@@ -1,12 +1,16 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples verify-proofs figure1 chaos clean
+.PHONY: install test test-tier1 bench examples verify-proofs figure1 chaos metrics-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1 only: skip the heavier telemetry/benchmark tests.
+test-tier1:
+	$(PYTHON) -m pytest tests/ -m "not tier2"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -28,7 +32,15 @@ figure1:
 # (tests/faults/test_campaign_smoke.py), so fault paths are exercised on
 # every PR; this target is the full sweep.
 chaos:
-	$(PYTHON) -m repro chaos --n 5 --f 1 --seeds 3
+	$(PYTHON) -m repro chaos --n 5 --f 1 --seeds 3 \
+		--json benchmarks/results/chaos_campaign.json
+
+# Quick observability check: instrumented CAS run with JSON export plus
+# a per-phase profile.  Exercises the whole obs layer end to end.
+metrics-smoke:
+	$(PYTHON) -m repro metrics --algorithm cas -n 5 -f 1 --ops 10 \
+		--json benchmarks/results/metrics_smoke.json
+	$(PYTHON) -m repro profile --algorithm abd -n 5 -f 1 --ops 6
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -12,7 +12,7 @@ from repro.registers.abd import build_abd_system
 from repro.util.tables import format_table
 from repro.workload.patterns import measure_peak_storage_with_nu_writes
 
-from benchmarks.common import emit
+from benchmarks.common import emit, write_perf_record
 
 N, F, VALUE_BITS = 21, 10, 16
 NUS = [1, 2, 4, 6, 8, 12]
@@ -56,4 +56,19 @@ def bench_abd_storage_vs_nu(benchmark):
             rows,
             ".3f",
         ),
+    )
+    write_perf_record(
+        "abd_storage",
+        {
+            "params": {"n": N, "f": F, "value_bits": VALUE_BITS},
+            "rows": [
+                {
+                    "nu": nu,
+                    "measured_total_normalized": total,
+                    "measured_max_normalized": mx,
+                    "paper_line": line,
+                }
+                for nu, total, mx, line in rows
+            ],
+        },
     )

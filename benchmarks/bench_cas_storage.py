@@ -19,7 +19,7 @@ from repro.registers.casgc import build_casgc_system
 from repro.util.tables import format_table
 from repro.workload.patterns import measure_peak_storage_with_nu_writes
 
-from benchmarks.common import emit
+from benchmarks.common import emit, write_perf_record
 
 N, F = 21, 10
 K = N - F  # 11: the rate the paper's upper-bound curve assumes
@@ -60,6 +60,16 @@ def bench_cas_storage_vs_nu(benchmark):
             rows,
             ".3f",
         ),
+    )
+    write_perf_record(
+        "cas_storage",
+        {
+            "params": {"n": N, "f": F, "k": K, "value_bits": VALUE_BITS},
+            "rows": [
+                {"nu": nu, "measured_peak_normalized": peak, "paper_line": line}
+                for nu, peak, line in rows
+            ],
+        },
     )
 
 

@@ -14,7 +14,7 @@ from repro.registers.casgc import build_casgc_system
 from repro.registers.coded_swmr import build_coded_swmr_system
 from repro.util.tables import format_table
 
-from benchmarks.common import emit
+from benchmarks.common import emit, write_perf_record
 
 N, F, VALUE_BITS = 9, 4, 16
 
@@ -59,4 +59,20 @@ def bench_communication(benchmark):
             rows,
             ".3f",
         ),
+    )
+    write_perf_record(
+        "communication",
+        {
+            "params": {"n": N, "f": F, "value_bits": VALUE_BITS},
+            "rows": [
+                {
+                    "algorithm": alg,
+                    "op": op,
+                    "messages": msgs,
+                    "value_bits_on_wire": bits,
+                    "normalized": norm,
+                }
+                for alg, op, msgs, bits, norm in rows
+            ],
+        },
     )

@@ -10,6 +10,7 @@ without rerunning.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Sequence
 
@@ -30,3 +31,21 @@ def emit(name: str, text: str) -> None:
     path = write_result(name, text)
     print(f"\n=== {name} (saved to {path}) ===")
     print(text)
+
+
+def write_perf_record(name: str, record: dict) -> str:
+    """Persist a machine-readable perf record as BENCH_<name>.json.
+
+    The record is whatever measured quantities the bench wants tracked
+    over time (row tables, counts, normalized storage); the helper adds
+    the schema tag and bench name.  Keys are sorted so records diff
+    cleanly between runs.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    payload = {"schema": "repro.bench/1", "bench": name}
+    payload.update(record)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    return path

@@ -75,6 +75,13 @@ from repro.lowerbound import (
 )
 from repro.storage import StateSpaceAccountant, peak_storage_during
 from repro.analysis import figure1_series
+from repro.obs import (
+    MetricsRegistry,
+    MetricsReport,
+    SimObserver,
+    SpanTracker,
+    run_instrumented_workload,
+)
 from repro.verification import ScheduleExplorer, explore_all_schedules
 from repro.workload import run_random_workload, run_sequential_workload
 
@@ -137,4 +144,10 @@ __all__ = [
     "figure1_series",
     "ScheduleExplorer",
     "explore_all_schedules",
+    # observability
+    "MetricsRegistry",
+    "MetricsReport",
+    "SimObserver",
+    "SpanTracker",
+    "run_instrumented_workload",
 ]

@@ -10,6 +10,8 @@ Commands
 ``assumptions``  audit a write protocol against Theorem 6.5's assumptions
 ``demo``         build a register, run a tiny workload, check consistency
 ``chaos``        adversarial fault-injection campaign over all algorithms
+``metrics``      run an instrumented workload; print/export its telemetry
+``profile``      per-phase step-count + wall-clock breakdown
 """
 
 from __future__ import annotations
@@ -198,7 +200,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults.campaign import run_campaign, write_report
+    from repro.faults.campaign import run_campaign, write_json_report, write_report
 
     if args.seeds < 1:
         print("error: --seeds must be >= 1 (a zero-run campaign proves nothing)")
@@ -218,7 +220,88 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.out:
         write_report(report, args.out)
         print(f"\nreport written to {args.out}")
+    if args.json:
+        write_json_report(report, args.json)
+        print(f"JSON summary written to {args.json}")
     return 0 if report.passed else 1
+
+
+def _build_for_metrics(args: argparse.Namespace):
+    """Build the requested system with the workload's client population."""
+    name = args.algorithm
+    if name == "abd":
+        return build_abd_system(
+            n=args.n, f=args.f, value_bits=args.value_bits,
+            num_writers=args.writers, num_readers=args.readers,
+        )
+    if name == "cas":
+        return build_cas_system(
+            n=args.n, f=args.f, value_bits=args.value_bits,
+            num_writers=args.writers, num_readers=args.readers,
+        )
+    if name == "casgc":
+        return build_casgc_system(
+            n=args.n, f=args.f, value_bits=args.value_bits, gc_depth=1,
+            num_writers=args.writers, num_readers=args.readers,
+        )
+    if name == "swmr-abd":
+        return build_swmr_abd_system(
+            n=args.n, f=args.f, value_bits=args.value_bits,
+            num_readers=args.readers,
+        )
+    # coded-swmr (single-writer by construction)
+    return build_coded_swmr_system(
+        n=args.n, f=args.f, value_bits=args.value_bits,
+        num_readers=args.readers,
+    )
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.runner import run_instrumented_workload
+
+    handle = _build_for_metrics(args)
+    run = run_instrumented_workload(
+        handle,
+        num_ops=args.ops,
+        seed=args.seed,
+        read_fraction=args.read_fraction,
+    )
+    report = run.report()
+    print(report.format())
+    if args.json:
+        report.write_json(args.json)
+        print(f"\nJSON report written to {args.json}")
+    if args.jsonl:
+        report.write_series_jsonl(args.jsonl)
+        print(f"time-series JSONL written to {args.jsonl}")
+    violated = any(
+        row["status"] == "VIOLATED" for row in (report.bound_rows or [])
+    )
+    return 1 if violated else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.runner import profile_table, run_instrumented_workload
+
+    handle = _build_for_metrics(args)
+    run = run_instrumented_workload(
+        handle,
+        num_ops=args.ops,
+        seed=args.seed,
+        read_fraction=args.read_fraction,
+        record_wall=True,
+    )
+    print(
+        f"{args.algorithm}: {args.ops} ops, {run.result.steps} steps, "
+        f"{run.wall_seconds * 1e3:.1f} ms wall "
+        f"({run.result.steps / max(run.wall_seconds, 1e-9):.0f} steps/s)"
+    )
+    print()
+    print(profile_table(run))
+    open_spans = run.observer.spans.open_spans()
+    if open_spans:
+        print(f"\nWARNING: {len(open_spans)} span(s) never closed")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -231,8 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_nf(p, n=21, f=10):
-        p.add_argument("--n", type=int, default=n, help="number of servers")
-        p.add_argument("--f", type=int, default=f, help="failure budget")
+        p.add_argument("-n", "--n", type=int, default=n, help="number of servers")
+        p.add_argument("-f", "--f", type=int, default=f, help="failure budget")
 
     p = sub.add_parser("figure1", help="print the Figure 1 table")
     add_nf(p)
@@ -300,8 +383,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-ticks", type=int, default=60_000)
     p.add_argument("--out", default="benchmarks/results/chaos_campaign.txt",
                    help="report path ('' to skip writing)")
+    p.add_argument("--json", default="",
+                   help="also write the campaign summary as JSON to this path")
     p.add_argument("--verbose", action="store_true", help="per-run progress")
     p.set_defaults(func=_cmd_chaos)
+
+    def add_workload_opts(p):
+        p.add_argument("--ops", type=int, default=10, help="operations to invoke")
+        p.add_argument("--seed", type=int, default=0, help="workload seed")
+        p.add_argument("--read-fraction", type=float, default=0.5)
+        p.add_argument("--writers", type=int, default=2,
+                       help="writer clients (multi-writer algorithms)")
+        p.add_argument("--readers", type=int, default=2, help="reader clients")
+
+    p = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload and print/export its telemetry",
+    )
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="cas")
+    add_nf(p, n=5, f=1)
+    p.add_argument("--value-bits", type=int, default=8)
+    add_workload_opts(p)
+    p.add_argument("--json", default="", help="write the full JSON report here")
+    p.add_argument("--jsonl", default="",
+                   help="write per-step time series as JSON Lines here")
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-phase step-count and wall-clock breakdown for an algorithm",
+    )
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="cas")
+    add_nf(p, n=5, f=1)
+    p.add_argument("--value-bits", type=int, default=8)
+    add_workload_opts(p)
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("communication", help="per-op message/bit costs")
     p.add_argument(

@@ -22,6 +22,8 @@ writes the summary report into ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -417,6 +419,62 @@ class CampaignReport:
             )
         return "\n".join(lines)
 
+    def to_json_dict(self) -> dict:
+        """Machine-readable campaign summary (``repro chaos --json``).
+
+        Deterministic for a fixed parameter set: no wall clock, no
+        environment capture, stable key order under
+        ``json.dumps(sort_keys=True)``.
+        """
+        stalls = [r for r in self.results if not r.live]
+        return {
+            "schema": "repro.chaos/1",
+            "params": {
+                "n": self.n,
+                "f": self.f,
+                "value_bits": self.value_bits,
+                "num_ops": self.num_ops,
+            },
+            "passed": self.passed,
+            "summary": {
+                "runs": len(self.results),
+                "live": len(self.results) - len(stalls),
+                "diagnosed_stalls": len(stalls),
+                "failures": len(self.failures()),
+                "configs_per_algorithm": self.configs_per_algorithm(),
+            },
+            "runs": [
+                {
+                    "algorithm": r.algorithm,
+                    "config": dataclasses.asdict(r.config),
+                    "invoked": r.invoked,
+                    "completed": r.completed,
+                    "live": r.live,
+                    "verdict": r.verdict(),
+                    "safety_ok": r.safety_ok,
+                    "safety_reason": r.safety_reason,
+                    "diagnosis": (
+                        None
+                        if r.diagnosis is None
+                        else {
+                            "verdict": r.diagnosis.verdict,
+                            "detail": r.diagnosis.detail,
+                            "step": r.diagnosis.step,
+                            "pending_ops": list(r.diagnosis.pending_ops),
+                            "undelivered": r.diagnosis.undelivered,
+                            "live_servers": list(r.diagnosis.live_servers),
+                        }
+                    ),
+                    "fault_stats": dict(r.fault_stats),
+                    "crashes": r.crashes,
+                    "recoveries": r.recoveries,
+                    "steps": r.steps,
+                    "acceptable": r.acceptable,
+                }
+                for r in self.results
+            ],
+        }
+
 
 def run_campaign(
     algorithms: Sequence[str] = ("abd", "cas", "casgc"),
@@ -449,3 +507,10 @@ def write_report(report: CampaignReport, path: str) -> None:
     """Persist the formatted report (benchmarks/results convention)."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(report.format() + "\n")
+
+
+def write_json_report(report: CampaignReport, path: str) -> None:
+    """Persist the campaign summary as deterministic JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_json_dict(), fh, sort_keys=True, indent=2)
+        fh.write("\n")

@@ -99,6 +99,8 @@ def diagnose_stall(
             "no messages in flight yet operations are pending "
             "(required acks were lost in transit)"
         )
+    if world.obs:
+        world.obs.registry.inc(f"faults.diagnosis.{verdict}")
     return Diagnosis(
         verdict=verdict,
         detail=detail,

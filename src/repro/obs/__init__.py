@@ -1,0 +1,66 @@
+"""Observability layer: metrics, spans, and machine-readable run reports.
+
+Everything the paper's bounds quantify — per-server storage in bits,
+messages and bits exchanged, active writes at a point — becomes
+structured telemetry here.  The layer is strictly optional: every
+``World`` starts with the no-op observer and pays one truth test per
+hook site until a :class:`SimObserver` is attached, and attaching one
+changes no scheduler decision.
+
+Typical use::
+
+    from repro import build_cas_system, run_instrumented_workload
+
+    handle = build_cas_system(5, 1)
+    run = run_instrumented_workload(handle, num_ops=10, seed=0)
+    print(run.report().format())
+
+See ``docs/observability.md`` for the metric catalog, span taxonomy,
+and the JSON report schema.
+"""
+
+from repro.obs.recorder import (
+    NO_OP,
+    NullObserver,
+    SimObserver,
+    estimate_message_bits,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    TimeSeries,
+)
+from repro.obs.report import MetricsReport, REPORT_SCHEMA, storage_bound_rows
+from repro.obs.runner import (
+    InstrumentedRun,
+    profile_table,
+    run_instrumented_workload,
+)
+from repro.obs.spans import NullSpanTracker, NULL_SPANS, Span, SpanTracker
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentedRun",
+    "MetricsRegistry",
+    "MetricsReport",
+    "NO_OP",
+    "NULL_REGISTRY",
+    "NULL_SPANS",
+    "NullObserver",
+    "NullRegistry",
+    "NullSpanTracker",
+    "REPORT_SCHEMA",
+    "SimObserver",
+    "Span",
+    "SpanTracker",
+    "estimate_message_bits",
+    "profile_table",
+    "run_instrumented_workload",
+    "storage_bound_rows",
+]

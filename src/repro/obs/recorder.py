@@ -1,0 +1,217 @@
+"""The SimObserver: the bridge between the simulator and the registry.
+
+``World`` owns exactly one observer.  By default it is the shared
+:data:`NO_OP` :class:`NullObserver` — falsy, deep-copy-stable, every
+method a no-op — so an uninstrumented simulation pays only an ``if
+self.obs:`` truth test per hook site.  Attaching a :class:`SimObserver`
+turns on metric and span collection without changing any scheduler
+decision: the observer only *reads* simulator state.
+
+This module deliberately imports nothing from ``repro.sim`` /
+``repro.registers`` / ``repro.workload`` — ``sim/network.py`` imports
+it, and a module-level import back into the simulator would create a
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, NullRegistry, NULL_REGISTRY
+from repro.obs.spans import NullSpanTracker, SpanTracker, NULL_SPANS
+
+
+def estimate_message_bits(message) -> int:
+    """Deterministic size estimate, in bits, of a simulator ``Message``.
+
+    Strings cost 8 bits per character, ints their two's-complement bit
+    length (minimum 1), None is free, and anything else falls back to 8
+    bits per character of its ``repr``.  The estimate covers the kind
+    tag plus every body key and value.  It is a modelling convention,
+    not a wire format — what matters is that it is stable and monotone
+    in payload size, so communication-cost comparisons between
+    algorithms are meaningful.
+    """
+    bits = 8 * len(message.kind)
+    for key, value in message.body:
+        bits += 8 * len(key)
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            bits += 1
+        elif isinstance(value, int):
+            bits += max(1, value.bit_length())
+        elif isinstance(value, str):
+            bits += 8 * len(value)
+        elif isinstance(value, (tuple, list)):
+            for item in value:
+                if isinstance(item, int):
+                    bits += max(1, item.bit_length())
+                else:
+                    bits += 8 * len(repr(item))
+        else:
+            bits += 8 * len(repr(value))
+    return bits
+
+
+class NullObserver:
+    """The disabled observer — the default on every ``World``.
+
+    Falsy (``if world.obs:`` skips all instrumentation), exposes a
+    :class:`NullRegistry` and :class:`NullSpanTracker` so unguarded
+    calls are still safe, and deep-copies to itself so ``World.fork``
+    keeps sharing the singleton instead of cloning dead weight.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry: NullRegistry = NULL_REGISTRY
+        self.spans: NullSpanTracker = NULL_SPANS
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __deepcopy__(self, memo: dict) -> "NullObserver":
+        return self
+
+    def __copy__(self) -> "NullObserver":
+        return self
+
+    def on_send(self, world, src: str, dst: str, message) -> None:
+        """No-op."""
+
+    def on_action(self, world, record) -> None:
+        """No-op."""
+
+    def begin_op(self, record) -> None:
+        """No-op."""
+
+    def end_op(self, record) -> None:
+        """No-op."""
+
+    def begin_span(self, owner: str, name: str, step: int, op_id=None):
+        """No-op; returns None."""
+        return None
+
+    def end_span(self, owner: str, name: str, step: int):
+        """No-op; returns None."""
+        return None
+
+    def __repr__(self) -> str:
+        return "NullObserver()"
+
+
+#: Shared disabled observer; ``World.__init__`` installs this instance.
+NO_OP = NullObserver()
+
+
+class SimObserver:
+    """Collects metrics and spans from an instrumented ``World``.
+
+    Attach with ``world.obs = SimObserver()`` (or use
+    :func:`repro.obs.runner.run_instrumented_workload`, which does it
+    for you).  The observer is plain data: ``World.fork`` deep-copies
+    it, so forked worlds accumulate telemetry independently.
+
+    Parameters
+    ----------
+    registry:
+        Destination :class:`MetricsRegistry`; a fresh one by default.
+    spans:
+        Destination :class:`SpanTracker`; a fresh one by default.
+    sample_storage:
+        When True (default), sample per-server storage occupancy in
+        bits after every action into the ``storage.*`` time series.
+    record_wall:
+        Forwarded to the span tracker; enables wall-clock capture for
+        ``repro profile``.  Leave False for deterministic artifacts.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanTracker] = None,
+        sample_storage: bool = True,
+        record_wall: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanTracker(record_wall=record_wall)
+        self.sample_storage = sample_storage
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- World hooks ---------------------------------------------------------
+
+    def on_send(self, world, src: str, dst: str, message) -> None:
+        """Record one message enqueued from ``src`` to ``dst``."""
+        reg = self.registry
+        bits = estimate_message_bits(message)
+        reg.inc("sim.messages_sent")
+        reg.inc("sim.message_bits_sent", bits)
+        reg.inc(f"sim.sent.{message.kind}")
+        reg.histogram("sim.message_bits").observe(bits)
+
+    def on_action(self, world, record) -> None:
+        """Record one executed action (the simulator just took a step)."""
+        reg = self.registry
+        step = record.step
+        reg.inc(f"sim.actions.{record.kind}")
+        reg.counter("sim.steps").value = step
+
+        in_flight = sum(len(ch) for ch in world.channels.values())
+        reg.gauge("sim.messages_in_flight").set(in_flight)
+        reg.timeseries("sim.messages_in_flight").record(step, in_flight)
+
+        if self.sample_storage:
+            total_bits = 0
+            max_bits = 0
+            for proc in world.processes.values():
+                storage = getattr(proc, "storage_bits", None)
+                if storage is None:
+                    continue
+                bits = storage() if callable(storage) else storage
+                total_bits += bits
+                if bits > max_bits:
+                    max_bits = bits
+            reg.gauge("storage.total_bits").set(total_bits)
+            reg.gauge("storage.max_server_bits").set(max_bits)
+            reg.timeseries("storage.total_bits").record(step, total_bits)
+            reg.timeseries("storage.max_server_bits").record(step, max_bits)
+
+        adversary = getattr(world, "adversary", None)
+        if adversary is not None:
+            reg.gauge("faults.partitions_started").set(adversary.partitions_started)
+            reg.gauge("faults.heals").set(adversary.heals)
+
+    # -- operation lifecycle -------------------------------------------------
+
+    def begin_op(self, record) -> None:
+        """A client operation was invoked; open its ``op/<kind>`` span."""
+        self.registry.inc(f"ops.invoked.{record.kind}")
+        self.spans.begin(
+            record.client, f"op/{record.kind}", record.invoke_step, op_id=record.op_id
+        )
+
+    def end_op(self, record) -> None:
+        """A client operation completed; close its span, record latency."""
+        self.registry.inc(f"ops.completed.{record.kind}")
+        self.spans.end(record.client, f"op/{record.kind}", record.response_step)
+        latency = record.response_step - record.invoke_step
+        self.registry.histogram(f"ops.latency_steps.{record.kind}").observe(latency)
+
+    # -- phase spans (called from register protocol code) --------------------
+
+    def begin_span(self, owner: str, name: str, step: int, op_id=None):
+        """Open a protocol-phase span (e.g. ``write/query``) for ``owner``."""
+        return self.spans.begin(owner, name, step, op_id=op_id)
+
+    def end_span(self, owner: str, name: str, step: int):
+        """Close ``owner``'s innermost open span named ``name``."""
+        return self.spans.end(owner, name, step)
+
+    def __repr__(self) -> str:
+        return f"SimObserver({self.registry!r}, {self.spans!r})"

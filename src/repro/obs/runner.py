@@ -1,0 +1,145 @@
+"""Run a workload with instrumentation attached and report on it.
+
+The glue between the obs layer and the rest of the system: attach a
+:class:`~repro.obs.recorder.SimObserver` to a built system's World,
+drive the standard seeded random workload, and package the resulting
+telemetry into a :class:`~repro.obs.report.MetricsReport` — including
+the empirical-vs-bound storage comparison at the run's own
+``(N, f, |V|, nu_observed)``.
+
+Simulator imports happen inside the functions: this module is imported
+by the CLI, and importing the workload package at module level would
+re-enter ``repro.sim`` while ``sim/network.py`` is importing
+``repro.obs.recorder``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.recorder import SimObserver
+from repro.obs.report import MetricsReport, storage_bound_rows
+from repro.util.tables import format_table
+
+
+@dataclass
+class InstrumentedRun:
+    """A completed instrumented workload: handle + observer + result."""
+
+    handle: object
+    observer: SimObserver
+    result: object
+    num_ops: int
+    seed: int
+    wall_seconds: float
+
+    def nu_observed(self) -> int:
+        """Peak number of concurrently active writes during the run."""
+        trace = self.handle.trace()
+        return max(1, trace.max_active_writes())
+
+    def report(self, include_bounds: bool = True) -> MetricsReport:
+        """Build the run's :class:`MetricsReport`.
+
+        The meta block and bound rows are fully deterministic; wall
+        time is intentionally excluded (it lives on the run object for
+        ``repro profile``'s console output only).
+        """
+        handle = self.handle
+        meta = {
+            "algorithm": handle.algorithm,
+            "n": handle.n,
+            "f": handle.f,
+            "value_bits": handle.value_bits,
+            "num_ops": self.num_ops,
+            "seed": self.seed,
+            "steps": self.result.steps,
+            "nu_observed": self.nu_observed(),
+        }
+        bound_rows = None
+        if include_bounds:
+            reg = self.observer.registry
+            total_series = reg.series.get("storage.total_bits")
+            max_series = reg.series.get("storage.max_server_bits")
+            bound_rows = storage_bound_rows(
+                handle.n,
+                handle.f,
+                handle.value_bits,
+                meta["nu_observed"],
+                total_series.max_value() if total_series else None,
+                max_series.max_value() if max_series else None,
+            )
+        return MetricsReport(meta, self.observer, bound_rows=bound_rows)
+
+
+def run_instrumented_workload(
+    handle,
+    num_ops: int = 10,
+    seed: int = 0,
+    read_fraction: float = 0.5,
+    step_bias: float = 0.7,
+    max_steps: int = 500_000,
+    observer: Optional[SimObserver] = None,
+    record_wall: bool = False,
+) -> InstrumentedRun:
+    """Attach an observer to ``handle.world`` and run the random workload.
+
+    Identical scheduling to the uninstrumented
+    :func:`repro.workload.generator.run_random_workload` — the observer
+    only reads state, so digests match an uninstrumented twin run with
+    the same seed.  Returns an :class:`InstrumentedRun`.
+    """
+    from repro.workload.generator import run_random_workload
+
+    obs = observer if observer is not None else SimObserver(record_wall=record_wall)
+    handle.world.obs = obs
+    wall_start = time.perf_counter()
+    result = run_random_workload(
+        handle,
+        num_ops,
+        seed=seed,
+        read_fraction=read_fraction,
+        step_bias=step_bias,
+        max_steps=max_steps,
+    )
+    wall = time.perf_counter() - wall_start
+    return InstrumentedRun(
+        handle=handle,
+        observer=obs,
+        result=result,
+        num_ops=num_ops,
+        seed=seed,
+        wall_seconds=wall,
+    )
+
+
+def profile_table(run: InstrumentedRun) -> str:
+    """Per-phase step-count and wall-clock breakdown for ``repro profile``.
+
+    Wall columns show ``-`` when the run's span tracker did not record
+    wall times.
+    """
+    stats = run.observer.spans.stats()
+    wall = run.observer.spans.wall_stats()
+    rows = []
+    for name, s in stats.items():
+        w = wall.get(name)
+        rows.append(
+            (
+                name,
+                s["count"],
+                s["total_steps"],
+                s["mean_steps"],
+                s["max_steps"],
+                f"{1e3 * w['total_seconds']:.3f}" if w else "-",
+                f"{1e3 * w['mean_seconds']:.3f}" if w else "-",
+            )
+        )
+    return format_table(
+        ["phase", "count", "steps", "mean", "max", "wall_ms", "wall_ms/op"],
+        rows,
+        float_fmt=".2f",
+        indent="  ",
+    )

@@ -1,0 +1,242 @@
+"""Operation/phase spans measured in simulation steps.
+
+A span is a named interval ``[begin_step, end_step]`` owned by a
+process — the time an ABD writer spent in its ``query`` phase, the time
+a CAS reader spent collecting coded elements, the full extent of a
+client operation.  Spans nest: beginning ``write/propagate`` while
+``op/write`` is open records the operation span as the parent, giving a
+per-operation phase breakdown without any global clock.
+
+Durations are step counts (the paper's "points"), so span statistics
+are deterministic under a fixed seed.  Wall-clock times are recorded
+only when the tracker is created with ``record_wall=True`` (used by
+``repro profile``) and are never included in deterministic JSON
+artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One named interval in a process's execution, measured in steps."""
+
+    span_id: int
+    name: str
+    owner: str
+    begin_step: int
+    end_step: Optional[int] = None
+    op_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    wall_begin: Optional[float] = None
+    wall_end: Optional[float] = None
+
+    @property
+    def is_open(self) -> bool:
+        """True while the span has begun but not ended."""
+        return self.end_step is None
+
+    @property
+    def duration_steps(self) -> Optional[int]:
+        """Steps from begin to end, or None while open."""
+        if self.end_step is None:
+            return None
+        return self.end_step - self.begin_step
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        """Wall-clock duration, when wall recording was enabled."""
+        if self.wall_begin is None or self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_begin
+
+    def to_json_dict(self, include_wall: bool = False) -> dict:
+        """JSON-ready view; wall times only on request (non-deterministic)."""
+        out = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "owner": self.owner,
+            "begin_step": self.begin_step,
+            "end_step": self.end_step,
+            "duration_steps": self.duration_steps,
+            "op_id": self.op_id,
+            "parent_id": self.parent_id,
+        }
+        if include_wall:
+            out["wall_seconds"] = self.wall_seconds
+        return out
+
+
+@dataclass
+class _OwnerState:
+    """Per-owner stack of open spans."""
+
+    stack: List[Span] = field(default_factory=list)
+
+
+class SpanTracker:
+    """Begin/end span bookkeeping with per-owner nesting.
+
+    ``begin`` pushes onto the owner's stack (recording the current stack
+    top, if any, as the parent); ``end`` closes the innermost open span
+    with a matching name.  An ``end`` with no matching open span is
+    recorded under :attr:`unmatched_ends` rather than raised — orphan
+    detection is a report concern, not a crash.
+    """
+
+    def __init__(self, record_wall: bool = False) -> None:
+        self.record_wall = record_wall
+        self.spans: List[Span] = []
+        self.unmatched_ends: List[dict] = []
+        self._owners: Dict[str, _OwnerState] = {}
+        self._next_id = 0
+
+    def __bool__(self) -> bool:
+        return True
+
+    def begin(
+        self,
+        owner: str,
+        name: str,
+        step: int,
+        op_id: Optional[int] = None,
+    ) -> Span:
+        """Open a span named ``name`` for ``owner`` at simulation ``step``."""
+        state = self._owners.setdefault(owner, _OwnerState())
+        parent = state.stack[-1] if state.stack else None
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            owner=owner,
+            begin_step=step,
+            op_id=op_id if op_id is not None else (parent.op_id if parent else None),
+            parent_id=parent.span_id if parent else None,
+            wall_begin=time.perf_counter() if self.record_wall else None,
+        )
+        self._next_id += 1
+        state.stack.append(span)
+        self.spans.append(span)
+        return span
+
+    def end(self, owner: str, name: str, step: int) -> Optional[Span]:
+        """Close ``owner``'s innermost open span named ``name`` at ``step``.
+
+        Returns the closed span, or None (and records the orphan end)
+        when no open span matches.
+        """
+        state = self._owners.get(owner)
+        if state is not None:
+            for i in range(len(state.stack) - 1, -1, -1):
+                span = state.stack[i]
+                if span.name == name:
+                    span.end_step = step
+                    if self.record_wall:
+                        span.wall_end = time.perf_counter()
+                    del state.stack[i]
+                    return span
+        self.unmatched_ends.append({"owner": owner, "name": name, "step": step})
+        return None
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but never ended (orphans), in begin order."""
+        return [s for s in self.spans if s.is_open]
+
+    def stats(self) -> Dict[str, dict]:
+        """Per-name duration statistics over *closed* spans.
+
+        Keys are span names (sorted); values carry count and
+        total/mean/min/max/p50/p95 of duration in steps.
+        """
+        by_name: Dict[str, List[int]] = {}
+        for span in self.spans:
+            if span.duration_steps is not None:
+                by_name.setdefault(span.name, []).append(span.duration_steps)
+        out: Dict[str, dict] = {}
+        for name in sorted(by_name):
+            durations = sorted(by_name[name])
+            n = len(durations)
+            out[name] = {
+                "count": n,
+                "total_steps": sum(durations),
+                "mean_steps": sum(durations) / n,
+                "min_steps": durations[0],
+                "max_steps": durations[-1],
+                "p50_steps": durations[max(0, (n + 1) // 2 - 1)],
+                "p95_steps": durations[max(0, -(-19 * n // 20) - 1)],
+            }
+        return out
+
+    def wall_stats(self) -> Dict[str, dict]:
+        """Per-name wall-clock statistics (empty unless record_wall)."""
+        by_name: Dict[str, List[float]] = {}
+        for span in self.spans:
+            if span.wall_seconds is not None:
+                by_name.setdefault(span.name, []).append(span.wall_seconds)
+        out: Dict[str, dict] = {}
+        for name in sorted(by_name):
+            walls = by_name[name]
+            out[name] = {
+                "count": len(walls),
+                "total_seconds": sum(walls),
+                "mean_seconds": sum(walls) / len(walls),
+                "max_seconds": max(walls),
+            }
+        return out
+
+    def to_json_list(self, include_wall: bool = False) -> List[dict]:
+        """Every span (open or closed) as JSON-ready dicts, begin order."""
+        return [s.to_json_dict(include_wall=include_wall) for s in self.spans]
+
+    def __repr__(self) -> str:
+        open_count = len(self.open_spans())
+        return f"SpanTracker({len(self.spans)} spans, {open_count} open)"
+
+
+class NullSpanTracker:
+    """Disabled span tracker: same interface, no-ops, falsy, fork-safe."""
+
+    record_wall = False
+    spans: List[Span] = []
+    unmatched_ends: List[dict] = []
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __deepcopy__(self, memo: dict) -> "NullSpanTracker":
+        return self
+
+    def __copy__(self) -> "NullSpanTracker":
+        return self
+
+    def begin(self, owner, name, step, op_id=None):
+        """No-op; returns None."""
+        return None
+
+    def end(self, owner, name, step):
+        """No-op; returns None."""
+        return None
+
+    def open_spans(self) -> list:
+        """Always empty."""
+        return []
+
+    def stats(self) -> dict:
+        """Always empty."""
+        return {}
+
+    wall_stats = stats
+
+    def to_json_list(self, include_wall: bool = False) -> list:
+        """Always empty."""
+        return []
+
+    def __repr__(self) -> str:
+        return "NullSpanTracker()"
+
+
+#: Shared disabled tracker instance.
+NULL_SPANS = NullSpanTracker()

@@ -129,6 +129,8 @@ class ABDWriteClient(_QuorumClient):
         self.pending_value = value
         self.max_tag = INITIAL_TAG
         self.phase = 1
+        if ctx.obs:
+            ctx.obs.begin_span(self.pid, "write/query", ctx.step, op_id=op_id)
         self._begin_phase(ctx, "get")
 
     def start_read(self, ctx: ProcessContext, op_id: int) -> None:
@@ -144,6 +146,9 @@ class ABDWriteClient(_QuorumClient):
             if len(self.responded) >= self.quorum:
                 new_tag = self.max_tag.next_for(self.pid)
                 self.phase = 2
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "write/query", ctx.step)
+                    ctx.obs.begin_span(self.pid, "write/propagate", ctx.step)
                 self._begin_phase(
                     ctx,
                     "put",
@@ -154,6 +159,8 @@ class ABDWriteClient(_QuorumClient):
             if len(self.responded) >= self.quorum:
                 self.phase = 0
                 self.pending_value = None
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "write/propagate", ctx.step)
                 self.finish(ctx)
 
     def state_digest(self) -> tuple:
@@ -193,6 +200,8 @@ class ABDReadClient(_QuorumClient):
         self.best_value = 0
         self.have_best = False
         self.phase = 1
+        if ctx.obs:
+            ctx.obs.begin_span(self.pid, "read/query", ctx.step, op_id=op_id)
         self._begin_phase(ctx, "get")
 
     def start_write(self, ctx: ProcessContext, op_id: int, value: int) -> None:
@@ -208,8 +217,12 @@ class ABDReadClient(_QuorumClient):
                 self.best_tag = tag
                 self.best_value = message.get("value")
             if len(self.responded) >= self.quorum:
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "read/query", ctx.step)
                 if self.write_back:
                     self.phase = 2
+                    if ctx.obs:
+                        ctx.obs.begin_span(self.pid, "read/write-back", ctx.step)
                     self._begin_phase(
                         ctx,
                         "put",
@@ -222,6 +235,8 @@ class ABDReadClient(_QuorumClient):
         elif self.phase == 2 and message.kind == "put-ack":
             if len(self.responded) >= self.quorum:
                 self.phase = 0
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "read/write-back", ctx.step)
                 self.finish(ctx, self.best_value)
 
     def state_digest(self) -> tuple:

@@ -41,6 +41,8 @@ class SWMRWriteClient(_QuorumClient):
     def start_write(self, ctx: ProcessContext, op_id: int, value: int) -> None:
         self.seq += 1
         self.phase = 1
+        if ctx.obs:
+            ctx.obs.begin_span(self.pid, "write/propagate", ctx.step, op_id=op_id)
         self._begin_phase(
             ctx, "put", tag=Tag(self.seq, self.pid).as_tuple(), value=value
         )
@@ -54,6 +56,8 @@ class SWMRWriteClient(_QuorumClient):
         if self.phase == 1 and message.kind == "put-ack":
             if len(self.responded) >= self.quorum:
                 self.phase = 0
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "write/propagate", ctx.step)
                 self.finish(ctx)
 
     def state_digest(self) -> tuple:

@@ -264,6 +264,8 @@ class CASWriteClient(ClientProcess):
         self.pending_value = value
         self.max_tag = INITIAL_TAG.as_tuple()
         self.phase = 1
+        if ctx.obs:
+            ctx.obs.begin_span(self.pid, "write/query", ctx.step, op_id=op_id)
         self._new_phase()
         for sid in self.server_ids:
             ctx.send(sid, Message.make("qf", ref=self._ref()))
@@ -286,6 +288,9 @@ class CASWriteClient(ClientProcess):
                     Tag.from_tuple(self.max_tag).next_for(self.pid).as_tuple()
                 )
                 self.phase = 2
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "write/query", ctx.step)
+                    ctx.obs.begin_span(self.pid, "write/pre-write", ctx.step)
                 self._new_phase()
                 # The single value-dependent phase: per-server coded symbols.
                 for i, sid in enumerate(self.server_ids):
@@ -299,6 +304,9 @@ class CASWriteClient(ClientProcess):
         elif self.phase == 2 and message.kind == "pre-ack":
             if len(self.responded) >= self.quorum:
                 self.phase = 3
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "write/pre-write", ctx.step)
+                    ctx.obs.begin_span(self.pid, "write/finalize", ctx.step)
                 self._new_phase()
                 for sid in self.server_ids:
                     ctx.send(
@@ -310,6 +318,8 @@ class CASWriteClient(ClientProcess):
                 self.phase = 0
                 self.pending_value = None
                 self.write_tag = None
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "write/finalize", ctx.step)
                 self.finish(ctx)
 
     def state_digest(self) -> tuple:
@@ -355,17 +365,19 @@ class CASReadClient(ClientProcess):
         self.phase_nonce += 1
         self.responded = set()
 
-    def _start_query(self, ctx: ProcessContext) -> None:
+    def _start_query(self, ctx: ProcessContext, op_id=None) -> None:
         self.read_tag = INITIAL_TAG.as_tuple()
         self.elements = {}
         self.phase = 1
+        if ctx.obs:
+            ctx.obs.begin_span(self.pid, "read/query", ctx.step, op_id=op_id)
         self._new_phase()
         for sid in self.server_ids:
             ctx.send(sid, Message.make("qf", ref=self._ref()))
 
     def start_read(self, ctx: ProcessContext, op_id: int) -> None:
         self.retries = 0
-        self._start_query(ctx)
+        self._start_query(ctx, op_id=op_id)
 
     def start_write(self, ctx: ProcessContext, op_id: int, value: int) -> None:
         raise SimulationError("CAS read client cannot write")
@@ -384,6 +396,9 @@ class CASReadClient(ClientProcess):
                 self.read_tag = tag
             if len(self.responded) >= self.quorum:
                 self.phase = 2
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "read/query", ctx.step)
+                    ctx.obs.begin_span(self.pid, "read/collect", ctx.step)
                 self._new_phase()
                 for sid in self.server_ids:
                     ctx.send(
@@ -399,6 +414,8 @@ class CASReadClient(ClientProcess):
             if len(self.elements) >= self.code.k:
                 value = self.code.decode(self.elements)
                 self.phase = 0
+                if ctx.obs:
+                    ctx.obs.end_span(self.pid, "read/collect", ctx.step)
                 self.finish(ctx, value)
         elif self.phase == 2 and message.kind == "read-gc":
             # The tag we wanted was garbage-collected: a newer finalized
@@ -408,6 +425,9 @@ class CASReadClient(ClientProcess):
                 raise SimulationError(
                     f"CAS reader {self.pid} exceeded {self.max_retries} GC retries"
                 )
+            if ctx.obs:
+                ctx.obs.end_span(self.pid, "read/collect", ctx.step)
+                ctx.obs.registry.inc("cas.read_gc_retries")
             self._start_query(ctx)
 
     def state_digest(self) -> tuple:

@@ -27,6 +27,7 @@ from repro.errors import (
     SimulationError,
     UnknownProcessError,
 )
+from repro.obs.recorder import NO_OP
 from repro.sim.channel import Channel
 from repro.sim.events import ActionRecord, Message, OperationRecord
 from repro.sim.process import ClientProcess, Process, ProcessContext, ServerProcess
@@ -55,6 +56,13 @@ class World:
         #: an active partition gates which channels are enabled.  The
         #: executable proofs never install one — channels stay reliable.
         self.adversary = None
+        #: Observer for the obs layer.  The default no-op singleton is
+        #: falsy, so every hook site below costs one truth test; attach
+        #: a :class:`repro.obs.recorder.SimObserver` to collect metrics
+        #: and spans.  The observer only reads state — it never affects
+        #: scheduling — and ``world_digest`` ignores it, so digests
+        #: match between instrumented and uninstrumented twins.
+        self.obs = NO_OP
 
     # -- topology ------------------------------------------------------------
 
@@ -103,6 +111,8 @@ class World:
         if sender.failed:
             raise ProcessFailedError(f"failed process {src} cannot send")
         self.channel(src, dst).enqueue(message)
+        if self.obs:
+            self.obs.on_send(self, src, dst, message)
 
     def complete_operation(
         self, client_pid: str, op_id: int, value: Optional[int]
@@ -118,6 +128,8 @@ class World:
         record.response_step = self.step_count
         if record.kind == "read":
             record.value = value
+        if self.obs:
+            self.obs.end_op(record)
 
     # -- action execution -----------------------------------------------------
 
@@ -127,6 +139,8 @@ class World:
         record = ActionRecord(self.step_count, kind, src, dst, info)
         if self.record_trace:
             self.trace.append(record)
+        if self.obs:
+            self.obs.on_action(self, record)
         return record
 
     def enabled_channels(
@@ -171,19 +185,28 @@ class World:
             raise SimulationError(f"channel {src}->{dst} is empty")
         adversary = self.adversary
         if adversary is not None:
-            message = channel.dequeue_at(adversary.pick_index((src, dst), len(channel)))
+            index = adversary.pick_index((src, dst), len(channel))
+            message = channel.dequeue_at(index)
+            if index > 0 and self.obs:
+                self.obs.registry.inc("faults.reorders")
         else:
             message = channel.dequeue()
         receiver = self.process(dst)
         if receiver.failed:
+            if self.obs:
+                self.obs.registry.inc("faults.crashed_receiver_drops")
             return self._record("drop", src, dst, message.kind)
         if adversary is not None:
             fate = adversary.fate(src, dst, message)
             if fate == "drop":
+                if self.obs:
+                    self.obs.registry.inc("faults.drops")
                 return self._record("lose", src, dst, message.kind)
             if fate == "duplicate":
                 # Message is immutable, so the copy may be shared.
                 channel.enqueue(message)
+                if self.obs:
+                    self.obs.registry.inc("faults.duplicates")
         record = self._record("deliver", src, dst, message.kind)
         receiver.on_message(ProcessContext(self, dst), src, message)
         return record
@@ -244,6 +267,8 @@ class World:
         self.operations.append(record)
         self._record("invoke", src=client_pid, info=f"write({value})")
         record.invoke_step = self.step_count
+        if self.obs:
+            self.obs.begin_op(record)
         client.begin_operation(record.op_id)
         client.start_write(ProcessContext(self, client_pid), record.op_id, value)
         return record
@@ -262,6 +287,8 @@ class World:
         self.operations.append(record)
         self._record("invoke", src=client_pid, info="read")
         record.invoke_step = self.step_count
+        if self.obs:
+            self.obs.begin_op(record)
         client.begin_operation(record.op_id)
         client.start_read(ProcessContext(self, client_pid), record.op_id)
         return record

@@ -39,6 +39,15 @@ class ProcessContext:
         """Current action index."""
         return self._world.step_count
 
+    @property
+    def obs(self):
+        """The World's observer (no-op unless instrumentation is attached).
+
+        Protocol code emits phase spans through this, guarded by its
+        truth value: ``if ctx.obs: ctx.obs.begin_span(...)``.
+        """
+        return self._world.obs
+
     def send(self, dst: str, message: Message) -> None:
         """Enqueue a message on the channel ``self.pid -> dst``."""
         self._world.enqueue_message(self.pid, dst, message)

@@ -2,11 +2,56 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.sim.events import ActionRecord, OperationRecord
 from repro.sim.network import World
+
+
+@dataclass
+class _WriteSweep:
+    """Step-indexed event sweep over the write operations of a trace.
+
+    Built once per trace state and shared by ``active_writes_at`` and
+    ``max_active_writes``: two sorted step arrays answer point queries
+    by binary search, and the peak is precomputed with one merged pass.
+    The ``fingerprint`` guards staleness — ``ExecutionTrace.capture``
+    shares mutable :class:`OperationRecord` objects with the live
+    World, so operations may be invoked or complete *after* capture.
+    """
+
+    fingerprint: Tuple[int, int]
+    invoke_steps: List[int]
+    response_steps: List[int]
+    peak: int
+
+    @classmethod
+    def build(cls, writes: List[OperationRecord], fingerprint: Tuple[int, int]) -> "_WriteSweep":
+        invokes = sorted(op.invoke_step for op in writes)
+        responses = sorted(
+            op.response_step for op in writes if op.response_step is not None
+        )
+        # Merged sweep for the peak: at equal steps the response event
+        # (delta -1) sorts before the invoke event (delta +1), matching
+        # the point semantics where a write responding at P is no
+        # longer active at P.
+        events = sorted(
+            [(s, 1) for s in invokes] + [(s, -1) for s in responses]
+        )
+        active = peak = 0
+        for _, delta in events:
+            active += delta
+            if active > peak:
+                peak = active
+        return cls(fingerprint, invokes, responses, peak)
+
+    def active_at(self, step: int) -> int:
+        """Writes invoked at or before ``step`` minus those responded."""
+        return bisect_right(self.invoke_steps, step) - bisect_right(
+            self.response_steps, step
+        )
 
 
 @dataclass
@@ -40,33 +85,36 @@ class ExecutionTrace:
         """All read operations."""
         return [op for op in self.operations if op.kind == "read"]
 
+    def _write_sweep(self) -> _WriteSweep:
+        """The cached event sweep, rebuilt when the trace state changed.
+
+        The fingerprint is ``(#operations, #completed)`` — both only
+        grow, and any invoke or response that could change an
+        active-writes answer changes one of them.
+        """
+        fingerprint = (
+            len(self.operations),
+            sum(1 for op in self.operations if op.is_complete),
+        )
+        cached = getattr(self, "_sweep_cache", None)
+        if cached is None or cached.fingerprint != fingerprint:
+            cached = _WriteSweep.build(self.writes(), fingerprint)
+            self._sweep_cache = cached
+        return cached
+
     def active_writes_at(self, step: int) -> int:
         """Number of write operations active at point ``step``.
 
         A write is active at P if invoked before P and not yet
-        responded at P (the paper's Section 2.3 definition).
+        responded at P (the paper's Section 2.3 definition).  Answered
+        in O(log ops) from the cached sweep (built once, shared with
+        :meth:`max_active_writes`).
         """
-        count = 0
-        for op in self.writes():
-            if op.invoke_step <= step and (
-                op.response_step is None or op.response_step > step
-            ):
-                count += 1
-        return count
+        return self._write_sweep().active_at(step)
 
     def max_active_writes(self) -> int:
         """Supremum over points of the number of active writes."""
-        events = []
-        for op in self.writes():
-            events.append((op.invoke_step, 1))
-            if op.response_step is not None:
-                events.append((op.response_step, -1))
-        events.sort()
-        active = peak = 0
-        for _, delta in events:
-            active += delta
-            peak = max(peak, active)
-        return peak
+        return self._write_sweep().peak
 
     def message_count(self) -> int:
         """Total deliver actions (communication cost proxy)."""

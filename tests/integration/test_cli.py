@@ -20,6 +20,10 @@ class TestParser:
             ["verify", "--theorem", "b1"],
             ["assumptions"],
             ["demo"],
+            ["metrics", "--algorithm", "cas", "-n", "5", "-f", "1"],
+            ["metrics", "--algorithm", "abd", "--json", "out.json"],
+            ["profile", "--algorithm", "abd", "--ops", "6"],
+            ["chaos", "--json", "out.json"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -105,3 +109,75 @@ class TestNewCommands:
         assert main(["communication", "--algorithms", "abd"]) == 0
         out = capsys.readouterr().out
         assert "write" in out and "read" in out
+
+
+class TestObservabilityCommands:
+    def test_metrics_smoke(self, capsys):
+        assert main([
+            "metrics", "--algorithm", "cas", "-n", "5", "-f", "1", "--ops", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics report" in out
+        assert "sim.messages_sent" in out
+        assert "op/write" in out
+        assert "theorem_b1" in out
+        assert "satisfied" in out
+        assert "VIOLATED" not in out
+
+    @pytest.mark.tier2
+    def test_metrics_json_is_byte_identical_across_runs(self, capsys, tmp_path):
+        import json
+
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([
+                "metrics", "--algorithm", "cas", "-n", "5", "-f", "1",
+                "--ops", "8", "--seed", "3", "--json", str(path),
+            ]) == 0
+            capsys.readouterr()
+        first, second = (p.read_bytes() for p in paths)
+        assert first == second
+
+        doc = json.loads(first)
+        assert doc["schema"] == "repro.metrics/1"
+        assert doc["counters"]["sim.messages_sent"] > 0
+        assert doc["spans"]["stats"]["op/write"]["count"] > 0
+        series = doc["series"]["storage.total_bits"]
+        b1_total = next(
+            row for row in doc["bounds"]
+            if row["theorem"] == "theorem_b1" and row["scope"] == "total"
+        )
+        assert max(series["values"]) >= b1_total["bound_bits"]
+
+    def test_metrics_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "series.jsonl"
+        assert main([
+            "metrics", "--algorithm", "abd", "-n", "5", "-f", "2",
+            "--ops", "6", "--jsonl", str(path),
+        ]) == 0
+        assert "JSONL written" in capsys.readouterr().out
+        assert path.read_text().count("\n") > 0
+
+    def test_profile_smoke(self, capsys):
+        assert main([
+            "profile", "--algorithm", "abd", "-n", "5", "-f", "2", "--ops", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "steps/s" in out
+        assert "wall_ms" in out
+        assert "WARNING" not in out
+
+    def test_chaos_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--algorithms", "abd", "-n", "5", "-f", "1",
+            "--seeds", "1", "--ops", "4", "--out", "", "--json", str(path),
+        ]) == 0
+        assert f"JSON summary written to {path}" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.chaos/1"
+        assert doc["passed"] is True
+        assert doc["summary"]["runs"] == len(doc["runs"])
+        assert all(run["algorithm"] == "abd" for run in doc["runs"])

@@ -1,0 +1,139 @@
+"""Observer wiring: metrics from real runs, and the instrumentation-off
+guarantee — attaching a SimObserver changes no scheduler decision."""
+
+import copy
+
+import pytest
+
+from repro.obs.recorder import NO_OP, NullObserver, SimObserver, estimate_message_bits
+from repro.obs.runner import run_instrumented_workload
+from repro.registers.abd import build_abd_system
+from repro.registers.cas import build_cas_system
+from repro.sim.events import Message
+from repro.sim.snapshot import world_digest
+from repro.workload.generator import run_random_workload
+
+
+class TestEstimateMessageBits:
+    def test_kind_and_keys_cost_8_bits_per_char(self):
+        # "ack" = 24 bits; no body.
+        assert estimate_message_bits(Message.make("ack")) == 24
+
+    def test_ints_cost_bit_length_min_one(self):
+        base = estimate_message_bits(Message.make("m"))
+        with_zero = estimate_message_bits(Message.make("m", v=0))
+        with_big = estimate_message_bits(Message.make("m", v=255))
+        assert with_zero == base + 8 + 1  # key "v" + 1 bit minimum
+        assert with_big == base + 8 + 8
+
+    def test_none_is_free_and_monotone_in_payload(self):
+        none_msg = estimate_message_bits(Message.make("m", v=None))
+        small = estimate_message_bits(Message.make("m", v="ab"))
+        large = estimate_message_bits(Message.make("m", v="abcd"))
+        assert none_msg < small < large
+
+    def test_sequences_cost_per_item(self):
+        one = estimate_message_bits(Message.make("m", v=(7,)))
+        two = estimate_message_bits(Message.make("m", v=(7, 7)))
+        assert two == one + 3  # one extra 3-bit int
+
+
+class TestNullObserver:
+    def test_falsy_singleton_survives_deepcopy(self):
+        assert not NO_OP
+        assert copy.deepcopy(NO_OP) is NO_OP
+        assert isinstance(NO_OP, NullObserver)
+
+    def test_world_default_observer_is_shared_noop(self):
+        handle = build_abd_system(n=5, f=2, value_bits=8)
+        assert handle.world.obs is NO_OP
+        forked = handle.world.fork()
+        assert forked.obs is NO_OP
+
+    def test_unguarded_calls_are_safe(self):
+        NO_OP.on_send(None, "a", "b", None)
+        NO_OP.on_action(None, None)
+        assert NO_OP.begin_span("c", "x", 0) is None
+        assert NO_OP.end_span("c", "x", 0) is None
+
+
+class TestWiring:
+    def test_counters_series_and_spans_from_a_real_run(self, small_cas):
+        run = run_instrumented_workload(small_cas, num_ops=8, seed=3)
+        reg = run.observer.registry
+
+        sent = reg.counter("sim.messages_sent").value
+        assert sent > 0
+        assert reg.counter("sim.message_bits_sent").value > 0
+        assert reg.histogram("sim.message_bits").count == sent
+        assert reg.counter("sim.actions.deliver").value > 0
+        assert (
+            reg.counter("ops.invoked.write").value
+            + reg.counter("ops.invoked.read").value
+            == 8
+        )
+        # every invoked op completed, so every op span is closed
+        assert not run.observer.spans.open_spans()
+        assert not run.observer.spans.unmatched_ends
+
+        storage = reg.series.get("storage.total_bits")
+        assert storage is not None
+        assert storage.max_value() > 0
+        assert storage.steps() == sorted(storage.steps())
+
+    def test_cas_phase_spans_present(self, small_cas):
+        run = run_instrumented_workload(small_cas, num_ops=8, seed=3)
+        stats = run.observer.spans.stats()
+        for phase in (
+            "op/write", "op/read",
+            "write/query", "write/pre-write", "write/finalize",
+            "read/query", "read/collect",
+        ):
+            assert phase in stats, f"missing span stats for {phase}"
+            assert stats[phase]["count"] > 0
+
+    def test_abd_phase_spans_present(self, small_abd):
+        run = run_instrumented_workload(small_abd, num_ops=8, seed=3)
+        stats = run.observer.spans.stats()
+        for phase in ("write/query", "write/propagate", "read/query"):
+            assert phase in stats
+
+    def test_op_latency_matches_trace(self, small_abd):
+        run = run_instrumented_workload(small_abd, num_ops=6, seed=1)
+        hist_total = sum(
+            run.observer.registry.histogram(f"ops.latency_steps.{kind}").total
+            for kind in ("write", "read")
+        )
+        trace_total = sum(
+            op.response_step - op.invoke_step
+            for op in small_abd.trace().operations
+            if op.is_complete
+        )
+        assert hist_total == trace_total
+
+
+@pytest.mark.tier2
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_observer_changes_no_scheduler_decision(self, seed):
+        instrumented = build_cas_system(n=5, f=1, value_bits=12)
+        plain = build_cas_system(n=5, f=1, value_bits=12)
+
+        run_instrumented_workload(instrumented, num_ops=10, seed=seed)
+        run_random_workload(plain, 10, seed=seed)
+
+        assert world_digest(instrumented.world) == world_digest(plain.world)
+
+    def test_same_seed_same_snapshot(self):
+        snaps = []
+        for _ in range(2):
+            handle = build_abd_system(n=5, f=2, value_bits=8)
+            run = run_instrumented_workload(handle, num_ops=10, seed=4)
+            snaps.append(run.observer.registry.snapshot())
+        assert snaps[0] == snaps[1]
+
+    def test_sample_storage_off_skips_storage_series(self, small_abd):
+        obs = SimObserver(sample_storage=False)
+        run = run_instrumented_workload(small_abd, num_ops=4, seed=0, observer=obs)
+        assert "storage.total_bits" not in run.observer.registry.series
+        assert run.observer.registry.counter("sim.messages_sent").value > 0

@@ -48,6 +48,61 @@ class TestActiveWrites:
         assert t.max_active_writes() == 1
 
 
+class TestSweepCache:
+    """The event sweep behind active_writes_at / max_active_writes."""
+
+    def test_matches_brute_force(self):
+        ops = [
+            op(0, "write", 1, 10),
+            op(1, "write", 2, 9),
+            op(2, "write", 3, 8),
+            op(3, "write", 12, None),
+            op(4, "read", 0, 20),
+        ]
+        t = make_trace(ops)
+        writes = [o for o in ops if o.kind == "write"]
+        for step in range(0, 15):
+            expected = sum(
+                1
+                for w in writes
+                if w.invoke_step <= step
+                and (w.response_step is None or w.response_step > step)
+            )
+            assert t.active_writes_at(step) == expected, f"step {step}"
+        assert t.max_active_writes() == 3
+
+    def test_cache_is_reused_for_unchanged_trace(self):
+        t = make_trace([op(0, "write", 1, 5)])
+        t.active_writes_at(3)
+        first = t._sweep_cache
+        t.max_active_writes()
+        t.active_writes_at(4)
+        assert t._sweep_cache is first
+
+    def test_cache_invalidated_when_shared_record_completes(self):
+        # capture() shares mutable OperationRecords with the live World:
+        # a write completing after capture must be reflected on re-query.
+        pending = op(0, "write", 2, None)
+        t = make_trace([pending])
+        assert t.active_writes_at(100) == 1
+        pending.response_step = 50
+        assert t.active_writes_at(100) == 0
+        assert t.max_active_writes() == 1
+
+    def test_cache_invalidated_when_operation_appended(self):
+        t = make_trace([op(0, "write", 1, 3)])
+        assert t.max_active_writes() == 1
+        t.operations.append(op(1, "write", 2, None))
+        assert t.max_active_writes() == 2
+
+    def test_response_at_invoke_step_not_double_counted(self):
+        # a write responding at P is no longer active at P, even when
+        # another write is invoked at exactly P.
+        t = make_trace([op(0, "write", 1, 5), op(1, "write", 5, 9)])
+        assert t.active_writes_at(5) == 1
+        assert t.max_active_writes() == 1
+
+
 class TestCaptureAndQueries:
     def test_capture_from_world(self):
         handle = build_abd_system(n=3, f=1, value_bits=4)
