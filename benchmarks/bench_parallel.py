@@ -1,0 +1,67 @@
+"""E17 — Parallel runner: byte-determinism plus measured speedup.
+
+Runs the same small chaos campaign serially and on 4 workers (cache
+disabled so both passes really execute), asserts the report text and
+the ``repro.chaos/1`` JSON are byte-identical, and records both wall
+clocks in ``BENCH_parallel.json``.  Speedup is a *measurement*, not an
+assertion — on a single-CPU container process overhead makes it ~1×,
+and the contract this bench guards is correctness, not throughput.
+
+A second pass through a fresh cache directory then checks the other
+acceptance property: a warm rerun executes zero simulator runs and
+still reproduces the identical report.
+"""
+
+import json
+import tempfile
+import time
+
+from repro.faults.campaign import run_campaign
+from repro.parallel import RunCache
+
+from benchmarks.common import write_perf_record
+
+PARAMS = dict(
+    algorithms=("abd", "cas"), n=5, f=1, value_bits=6, seeds=[0, 1], num_ops=4
+)
+
+
+def _timed_campaign(**kwargs):
+    start = time.perf_counter()
+    report = run_campaign(**kwargs)
+    return report, time.perf_counter() - start
+
+
+def bench_parallel_campaign(benchmark):
+    serial, serial_wall = _timed_campaign(jobs=1, **PARAMS)
+    parallel, parallel_wall = benchmark.pedantic(
+        lambda: _timed_campaign(jobs=4, **PARAMS), rounds=1, iterations=1
+    )
+
+    text_serial, text_parallel = serial.format(), parallel.format()
+    assert text_parallel == text_serial  # byte-identical at any job count
+    json_serial = json.dumps(serial.to_json_dict(), sort_keys=True)
+    json_parallel = json.dumps(parallel.to_json_dict(), sort_keys=True)
+    assert json_parallel == json_serial
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = RunCache(cache_dir)
+        first, _ = _timed_campaign(jobs=1, cache=cache, **PARAMS)
+        warm = RunCache(cache_dir)
+        warm_report, warm_wall = _timed_campaign(jobs=1, cache=warm, **PARAMS)
+        assert warm.hits == len(first.results) and warm.stores == 0
+        assert warm_report.format() == text_serial
+
+    write_perf_record(
+        "parallel",
+        {
+            "params": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in PARAMS.items()},
+            "runs": len(serial.results),
+            "serial_wall_seconds": round(serial_wall, 4),
+            "parallel_wall_seconds": round(parallel_wall, 4),
+            "speedup": round(serial_wall / max(parallel_wall, 1e-9), 3),
+            "warm_cache_wall_seconds": round(warm_wall, 4),
+            "byte_identical": text_parallel == text_serial,
+        },
+    )

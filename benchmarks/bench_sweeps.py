@@ -1,6 +1,8 @@
 """E7 — Section 2.2 asymptotics and finite-|V| convergence.
 
-Three sweeps:
+Three sweeps over the standard grids (see
+``repro.analysis.sweeps.STANDARD_GRIDS``; ``repro sweep`` runs the
+same ones from the command line):
 
 * fixed f, growing N: Theorems 4.1/5.1 approach exactly twice the
   Singleton-style bound ("approximately twice as strong");
@@ -8,78 +10,26 @@ Three sweeps:
   corrections) converge to the asymptotic coefficients from below;
 * f proportional to N: the universal bounds stay O(1) (hence o(f)),
   which is what motivates Question 2 and Theorem 6.5.
+
+Rows fan out through the parallel engine and land in the run cache, so
+re-running the bench with unchanged code replays stored rows.
 """
 
 from repro.analysis.sweeps import (
-    sweep_finite_v_convergence,
-    sweep_improvement_ratio,
-    sweep_proportional_f,
+    check_standard_sweeps,
+    format_standard_sweeps,
+    run_standard_sweeps,
 )
-from repro.util.tables import format_table
 
-from benchmarks.common import emit
+from benchmarks.common import emit, run_cache
 
 
 def _run_all():
-    return (
-        sweep_improvement_ratio(10, [21, 50, 100, 500, 2000, 10000]),
-        sweep_finite_v_convergence(21, 10, [8, 16, 32, 64, 128, 512, 2048]),
-        sweep_proportional_f([10, 20, 40, 80, 160, 320, 640], 0.5),
-    )
+    return run_standard_sweeps(cache=run_cache())
 
 
 def bench_sweeps(benchmark):
-    improvement, convergence, proportional = benchmark(_run_all)
-
-    # ratio -> 2 as N grows with f fixed
-    ratios = [r["ratio41"] for r in improvement]
-    assert ratios == sorted(ratios)
-    assert abs(ratios[-1] - 2.0) < 0.005
-
-    # exact bounds approach the limit from below, monotonically
-    exact = [r["theorem41_exact"] for r in convergence]
-    assert exact == sorted(exact)
-    assert convergence[-1]["theorem41_limit"] - exact[-1] < 0.02
-
-    # universal bound / f -> 0 while ABD tracks f+1
-    over_f = [r["bound_over_f"] for r in proportional]
-    assert over_f == sorted(over_f, reverse=True)
-    assert over_f[-1] < 0.02
-
-    text = "\n\n".join(
-        [
-            "Improvement over the Singleton-style bound (f=10):\n"
-            + format_table(
-                ("N", "singleton", "thm4.1", "thm5.1", "ratio41", "ratio51"),
-                [
-                    (int(r["n"]), r["singleton"], r["theorem41"],
-                     r["theorem51"], r["ratio41"], r["ratio51"])
-                    for r in improvement
-                ],
-                ".4f",
-            ),
-            "Finite-|V| convergence (N=21, f=10; normalized exact bounds):\n"
-            + format_table(
-                ("log2|V|", "thm4.1 exact", "thm4.1 limit", "thm5.1 exact",
-                 "thm5.1 limit"),
-                [
-                    (int(r["value_bits"]), r["theorem41_exact"],
-                     r["theorem41_limit"], r["theorem51_exact"],
-                     r["theorem51_limit"])
-                    for r in convergence
-                ],
-                ".4f",
-            ),
-            "f proportional to N (f = N/2): universal bound is o(f):\n"
-            + format_table(
-                ("N", "f", "thm5.1", "ABD f+1", "thm5.1 / f"),
-                [
-                    (int(r["n"]), int(r["f"]), r["theorem51"],
-                     r["abd_upper"], r["bound_over_f"])
-                    for r in proportional
-                ],
-                ".4f",
-            ),
-        ]
-    )
-    emit("sweeps", text)
+    results = benchmark(_run_all)
+    ok, reason = check_standard_sweeps(results)
+    assert ok, reason
+    emit("sweeps", format_standard_sweeps(results))

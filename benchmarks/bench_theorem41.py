@@ -17,7 +17,7 @@ from repro.registers.abd_swmr import build_swmr_abd_system
 from repro.sim.snapshot import world_digest
 from repro.util.tables import format_table
 
-from benchmarks.common import emit
+from benchmarks.common import cached_payload, emit
 
 HEADERS = (
     "algorithm", "N", "f", "|V|", "pairs", "lhs sum+max bits", "rhs bits",
@@ -52,21 +52,37 @@ def bench_theorem41_gossip_variant(benchmark):
     assert cert.holds
 
 
-def bench_theorem41_table(benchmark):
-    def run_all():
-        return [
-            run_theorem41_experiment(_swmr, n=5, f=2, value_bits=2, algorithm="swmr-abd"),
-            run_theorem41_experiment(_abd, n=5, f=2, value_bits=2, algorithm="abd"),
-            run_theorem41_experiment(_swmr, n=6, f=2, value_bits=2, algorithm="swmr-abd"),
-        ]
+#: The table's parameter grid; part of the run-cache key.
+TABLE_CASES = [
+    ["swmr-abd", 5, 2, 2],
+    ["abd", 5, 2, 2],
+    ["swmr-abd", 6, 2, 2],
+]
 
-    certs = benchmark(run_all)
-    for cert in certs:
-        assert cert.holds, cert.algorithm
-    emit(
-        "theorem41",
-        format_table(HEADERS, [c.as_row() for c in certs], ".3f"),
+
+def _table_payload():
+    builders = {"swmr-abd": _swmr, "abd": _abd}
+    certs = [
+        run_theorem41_experiment(
+            builders[name], n=n, f=f, value_bits=vb, algorithm=name
+        )
+        for name, n, f, vb in TABLE_CASES
+    ]
+    return {
+        "rows": [list(c.as_row()) for c in certs],
+        "holds": [c.holds for c in certs],
+        "algorithms": [c.algorithm for c in certs],
+    }
+
+
+def bench_theorem41_table(benchmark):
+    payload = benchmark(
+        lambda: cached_payload("theorem41-table", {"cases": TABLE_CASES},
+                               _table_payload)
     )
+    for algorithm, holds in zip(payload["algorithms"], payload["holds"]):
+        assert holds, algorithm
+    emit("theorem41", format_table(HEADERS, payload["rows"], ".3f"))
 
 
 def bench_ablation_snapshot_determinism(benchmark):

@@ -23,7 +23,7 @@ from repro.registers.casgc import build_casgc_system
 from repro.registers.coded_swmr import build_coded_swmr_system
 from repro.util.tables import format_table
 
-from benchmarks.common import emit
+from benchmarks.common import cached_payload, emit
 
 
 def _audit_all():
@@ -56,7 +56,16 @@ def bench_assumption_audit(benchmark):
     )
 
 
-def _counting_all():
+#: (algorithm, n, f, nu, value_bits) grid; part of the run-cache key.
+COUNTING_CASES = [
+    ["cas", 5, 1, 2, 3],
+    ["casgc", 5, 1, 2, 3],
+    ["cas", 7, 2, 3, 2],
+    ["abd", 5, 2, 2, 3],
+]
+
+
+def _counting_payload():
     def cas_b(n, f, vb, nw):
         return build_cas_system(n=n, f=f, value_bits=vb, num_writers=nw)
 
@@ -68,29 +77,42 @@ def _counting_all():
     def abd_b(n, f, vb, nw):
         return build_abd_system(n=n, f=f, value_bits=vb, num_writers=nw)
 
-    return [
-        run_theorem65_experiment(cas_b, n=5, f=1, nu=2, value_bits=3, algorithm="cas"),
-        run_theorem65_experiment(casgc_b, n=5, f=1, nu=2, value_bits=3, algorithm="casgc"),
-        run_theorem65_experiment(cas_b, n=7, f=2, nu=3, value_bits=2, algorithm="cas"),
-        run_theorem65_experiment(abd_b, n=5, f=2, nu=2, value_bits=3, algorithm="abd"),
+    builders = {"cas": cas_b, "casgc": casgc_b, "abd": abd_b}
+    certs = [
+        run_theorem65_experiment(
+            builders[name], n=n, f=f, nu=nu, value_bits=vb, algorithm=name
+        )
+        for name, n, f, nu, vb in COUNTING_CASES
     ]
+    return {
+        "rows": [list(c.as_row()) for c in certs],
+        "info_complete": {
+            f"{c.algorithm}/{c.nu}": c.information_complete for c in certs
+        },
+        "holds": [c.holds for c in certs],
+        "algorithms": [c.algorithm for c in certs],
+    }
 
 
 def bench_theorem65_counting(benchmark):
-    certs = benchmark(_counting_all)
-    by_key = {(c.algorithm, c.nu): c for c in certs}
-    assert by_key[("cas", 2)].information_complete
-    assert by_key[("casgc", 2)].information_complete
-    assert by_key[("cas", 3)].information_complete
-    assert not by_key[("abd", 2)].information_complete  # replication collapses
-    for cert in certs:
-        assert cert.holds, cert.algorithm
+    payload = benchmark(
+        lambda: cached_payload(
+            "theorem65-counting", {"cases": COUNTING_CASES}, _counting_payload
+        )
+    )
+    complete = payload["info_complete"]
+    assert complete["cas/2"]
+    assert complete["casgc/2"]
+    assert complete["cas/3"]
+    assert not complete["abd/2"]  # replication collapses
+    for algorithm, holds in zip(payload["algorithms"], payload["holds"]):
+        assert holds, algorithm
     emit(
         "theorem65_counting",
         format_table(
             ("algorithm", "N", "f", "nu", "|V|", "tuples", "observed bits",
              "rhs bits", "info-complete", "inequality holds"),
-            [c.as_row() for c in certs],
+            payload["rows"],
             ".3f",
         ),
     )

@@ -13,7 +13,7 @@ from repro.registers.abd_swmr import build_swmr_abd_system
 from repro.registers.cas import build_cas_system
 from repro.util.tables import format_table
 
-from benchmarks.common import emit
+from benchmarks.common import cached_payload, emit
 
 HEADERS = (
     "algorithm", "N", "f", "|V|", "observed sum bits", "rhs=log|V|",
@@ -27,24 +27,30 @@ CONFIGS = [
 ]
 
 
-def _run_all():
-    certs = []
-    for name, builder, n, f, vb in CONFIGS:
-        certs.append(
-            run_theorem_b1_experiment(builder, n=n, f=f, value_bits=vb, algorithm=name)
-        )
-    return certs
+def _table_payload():
+    certs = [
+        run_theorem_b1_experiment(builder, n=n, f=f, value_bits=vb, algorithm=name)
+        for name, builder, n, f, vb in CONFIGS
+    ]
+    return {
+        "rows": [list(c.as_row()) for c in certs],
+        "injective": [c.injectivity.injective for c in certs],
+        "holds": [c.holds for c in certs],
+        "algorithms": [c.algorithm for c in certs],
+    }
 
 
 def bench_theorem_b1(benchmark):
-    certs = benchmark(_run_all)
-    for cert in certs:
-        assert cert.injectivity.injective, cert.algorithm
-        assert cert.holds, cert.algorithm
-    emit(
-        "theorem_b1",
-        format_table(HEADERS, [c.as_row() for c in certs], ".3f"),
+    params = {"cases": [[name, n, f, vb] for name, _, n, f, vb in CONFIGS]}
+    payload = benchmark(
+        lambda: cached_payload("theorem-b1-table", params, _table_payload)
     )
+    for algorithm, injective, holds in zip(
+        payload["algorithms"], payload["injective"], payload["holds"]
+    ):
+        assert injective, algorithm
+        assert holds, algorithm
+    emit("theorem_b1", format_table(HEADERS, payload["rows"], ".3f"))
 
 
 @pytest.mark.parametrize("name,builder,n,f,vb", CONFIGS, ids=[c[0] for c in CONFIGS])

@@ -6,15 +6,54 @@ asserts the *shape* facts the paper reports (who wins, by what factor,
 where crossovers fall), and writes the full table to
 ``benchmarks/results/<name>.txt`` so the numbers are inspectable
 without rerunning.
+
+Heavy benches route their computations through the content-addressed
+run cache in ``benchmarks/.cache/`` (:func:`cached_payload`): a rerun
+with unchanged code replays stored results instead of re-simulating.
+The cache key embeds the ``src/repro`` source fingerprint, so any code
+edit invalidates every entry.  Delete the directory at any time to
+force recomputation.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The repository's shared run-cache directory (``benchmarks/.cache``).
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
+
+
+def run_cache():
+    """A :class:`repro.parallel.cache.RunCache` over ``benchmarks/.cache``."""
+    from repro.parallel.cache import RunCache
+
+    return RunCache(CACHE_DIR)
+
+
+def cached_payload(kind: str, params: dict, compute: Callable[[], dict]) -> dict:
+    """Memoize ``compute()``'s JSON payload under (kind, params, code).
+
+    The payload must contain everything the bench asserts on *and*
+    renders, so a cache hit skips the simulation entirely while the
+    emitted artifact and the assertions stay byte-for-byte identical.
+    """
+    from repro.parallel.cache import RunCache
+    from repro.parallel.fingerprint import code_fingerprint
+
+    cache = run_cache()
+    key = RunCache.key_for(
+        {"kind": kind, "params": params, "fingerprint": code_fingerprint()}
+    )
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    value = compute()
+    cache.put(key, value)
+    return value
 
 
 def write_result(name: str, text: str) -> str:

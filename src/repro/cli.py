@@ -12,6 +12,14 @@ Commands
 ``chaos``        adversarial fault-injection campaign over all algorithms
 ``metrics``      run an instrumented workload; print/export its telemetry
 ``profile``      per-phase step-count + wall-clock breakdown
+``sweep``        Section 2 parameter sweeps over the standard grids
+
+Parallelism and caching: ``chaos``, ``metrics`` and ``sweep`` accept
+``--jobs`` (or the ``REPRO_JOBS`` environment variable) to fan
+independent seeded runs over a worker pool — reports are byte-identical
+at any job count.  ``chaos`` and ``sweep`` consult the content-addressed
+run cache in ``benchmarks/.cache/`` (``--no-cache`` to bypass,
+``--cache-dir`` to relocate); see ``docs/parallelism.md``.
 """
 
 from __future__ import annotations
@@ -201,11 +209,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.campaign import run_campaign, write_json_report, write_report
+    from repro.parallel.cache import RunCache
 
     if args.seeds < 1:
         print("error: --seeds must be >= 1 (a zero-run campaign proves nothing)")
         return 2
     progress = (lambda line: print(f"  {line}")) if args.verbose else None
+    cache = None if args.no_cache else RunCache(args.cache_dir)
     report = run_campaign(
         algorithms=args.algorithms,
         n=args.n,
@@ -215,8 +225,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         num_ops=args.ops,
         max_ticks=args.max_ticks,
         progress=progress,
+        jobs=args.jobs,
+        cache=cache,
     )
     print(report.format())
+    if cache is not None:
+        print(f"\n{cache.stats_line()}")
     if args.out:
         write_report(report, args.out)
         print(f"\nreport written to {args.out}")
@@ -226,39 +240,189 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
-def _build_for_metrics(args: argparse.Namespace):
-    """Build the requested system with the workload's client population."""
-    name = args.algorithm
+def _build_client_system(
+    name: str, n: int, f: int, value_bits: int, writers: int, readers: int
+):
+    """Build ``name``'s system with the workload's client population.
+
+    Module-level (and argparse-free) so the parallel metrics path can
+    rebuild the system inside a worker process.
+    """
     if name == "abd":
         return build_abd_system(
-            n=args.n, f=args.f, value_bits=args.value_bits,
-            num_writers=args.writers, num_readers=args.readers,
+            n=n, f=f, value_bits=value_bits,
+            num_writers=writers, num_readers=readers,
         )
     if name == "cas":
         return build_cas_system(
-            n=args.n, f=args.f, value_bits=args.value_bits,
-            num_writers=args.writers, num_readers=args.readers,
+            n=n, f=f, value_bits=value_bits,
+            num_writers=writers, num_readers=readers,
         )
     if name == "casgc":
         return build_casgc_system(
-            n=args.n, f=args.f, value_bits=args.value_bits, gc_depth=1,
-            num_writers=args.writers, num_readers=args.readers,
+            n=n, f=f, value_bits=value_bits, gc_depth=1,
+            num_writers=writers, num_readers=readers,
         )
     if name == "swmr-abd":
         return build_swmr_abd_system(
-            n=args.n, f=args.f, value_bits=args.value_bits,
-            num_readers=args.readers,
+            n=n, f=f, value_bits=value_bits, num_readers=readers,
         )
     # coded-swmr (single-writer by construction)
     return build_coded_swmr_system(
-        n=args.n, f=args.f, value_bits=args.value_bits,
-        num_readers=args.readers,
+        n=n, f=f, value_bits=value_bits, num_readers=readers,
     )
+
+
+def _build_for_metrics(args: argparse.Namespace):
+    """Build the requested system with the workload's client population."""
+    return _build_client_system(
+        args.algorithm, args.n, args.f, args.value_bits,
+        args.writers, args.readers,
+    )
+
+
+def _metrics_task(payload: dict) -> dict:
+    """One seeded instrumented run; the ``metrics --runs`` pool task.
+
+    Returns the per-run meta plus the worker's full
+    :class:`~repro.obs.registry.MetricsRegistry` (picklable), which the
+    parent merges in seed order via the registry ``merge`` API.
+    """
+    from repro.obs.runner import run_instrumented_workload
+
+    handle = _build_client_system(
+        payload["algorithm"], payload["n"], payload["f"],
+        payload["value_bits"], payload["writers"], payload["readers"],
+    )
+    run = run_instrumented_workload(
+        handle,
+        num_ops=payload["ops"],
+        seed=payload["seed"],
+        read_fraction=payload["read_fraction"],
+    )
+    registry = run.observer.registry
+    total = registry.series.get("storage.total_bits")
+    max_server = registry.series.get("storage.max_server_bits")
+    return {
+        "seed": payload["seed"],
+        "steps": run.result.steps,
+        "nu_observed": run.nu_observed(),
+        "peak_total_bits": total.max_value() if total else None,
+        "peak_max_server_bits": max_server.max_value() if max_server else None,
+        "registry": registry,
+    }
+
+
+def _metrics_batch(args: argparse.Namespace) -> int:
+    """``repro metrics --runs K``: K seeded runs, merged registry report."""
+    import json as _json
+
+    from repro.obs.report import storage_bound_rows
+    from repro.obs.runner import merge_registries
+    from repro.parallel.pool import run_tasks
+
+    payloads = [
+        {
+            "algorithm": args.algorithm,
+            "n": args.n,
+            "f": args.f,
+            "value_bits": args.value_bits,
+            "writers": args.writers,
+            "readers": args.readers,
+            "ops": args.ops,
+            "read_fraction": args.read_fraction,
+            "seed": seed,
+        }
+        for seed in range(args.seed, args.seed + args.runs)
+    ]
+    results = run_tasks(_metrics_task, payloads, jobs=args.jobs)
+    merged = merge_registries(r["registry"] for r in results)
+    nu = max(r["nu_observed"] for r in results)
+    totals = [r["peak_total_bits"] for r in results if r["peak_total_bits"] is not None]
+    maxes = [
+        r["peak_max_server_bits"]
+        for r in results
+        if r["peak_max_server_bits"] is not None
+    ]
+    bound_rows = storage_bound_rows(
+        args.n, args.f, args.value_bits, nu,
+        max(totals) if totals else None,
+        max(maxes) if maxes else None,
+    )
+
+    meta = {
+        "algorithm": args.algorithm, "n": args.n, "f": args.f,
+        "value_bits": args.value_bits, "num_ops": args.ops,
+        "runs": args.runs, "first_seed": args.seed,
+        "nu_observed": nu,
+    }
+    meta_line = "  ".join(f"{k}={meta[k]}" for k in sorted(meta))
+    print(f"metrics batch  [{meta_line}]")
+    run_rows = [
+        (
+            r["seed"], r["steps"], r["nu_observed"],
+            r["peak_total_bits"], r["peak_max_server_bits"],
+        )
+        for r in results
+    ]
+    print("\nper-run summary")
+    print(format_table(
+        ("seed", "steps", "nu", "peak_total_bits", "peak_max_server_bits"),
+        run_rows, ".1f", indent="  ",
+    ))
+    snapshot = merged.snapshot()
+    print("\nmerged counters (all runs)")
+    print(format_table(
+        ("name", "value"), list(snapshot["counters"].items()), indent="  ",
+    ))
+    if snapshot["histograms"]:
+        print("\nmerged histograms")
+        print(format_table(
+            ("name", "count", "mean", "p50", "p99", "max"),
+            [
+                (k, h["count"], h["mean"], h["p50"], h["p99"], h["max"])
+                for k, h in snapshot["histograms"].items()
+            ],
+            ".2f", indent="  ",
+        ))
+    print("\nobserved peak storage vs lower bounds (bits, worst run)")
+    print(format_table(
+        ("theorem", "scope", "bound", "observed", "status"),
+        [
+            (
+                r["theorem"], r["scope"],
+                "n/a" if r["bound_bits"] is None else r["bound_bits"],
+                "n/a" if r["observed_bits"] is None else r["observed_bits"],
+                r["status"],
+            )
+            for r in bound_rows
+        ],
+        ".2f", indent="  ",
+    ))
+    if args.json:
+        doc = {
+            "schema": "repro.metrics-batch/1",
+            "meta": meta,
+            "runs": [
+                {k: v for k, v in r.items() if k != "registry"}
+                for r in results
+            ],
+            "merged": snapshot,
+            "bounds": bound_rows,
+        }
+        with open(args.json, "w") as fh:
+            _json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"\nJSON batch report written to {args.json}")
+    violated = any(row["status"] == "VIOLATED" for row in bound_rows)
+    return 1 if violated else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.runner import run_instrumented_workload
 
+    if args.runs > 1:
+        return _metrics_batch(args)
     handle = _build_for_metrics(args)
     run = run_instrumented_workload(
         handle,
@@ -278,6 +442,31 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         row["status"] == "VIOLATED" for row in (report.bound_rows or [])
     )
     return 1 if violated else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import (
+        check_standard_sweeps,
+        format_standard_sweeps,
+        run_standard_sweeps,
+    )
+    from repro.parallel.cache import RunCache
+
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    results = run_standard_sweeps(jobs=args.jobs, cache=cache)
+    text = format_standard_sweeps(results)
+    print(text)
+    ok, reason = check_standard_sweeps(results)
+    if cache is not None:
+        print(f"\n{cache.stats_line()}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text.rstrip() + "\n")
+        print(f"sweep tables written to {args.out}")
+    if not ok:
+        print(f"SHAPE CHECK FAILED: {reason}")
+        return 1
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -316,6 +505,14 @@ def build_parser() -> argparse.ArgumentParser:
     def add_nf(p, n=21, f=10):
         p.add_argument("-n", "--n", type=int, default=n, help="number of servers")
         p.add_argument("-f", "--f", type=int, default=f, help="failure budget")
+
+    def add_parallel_opts(p):
+        p.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes for independent runs (default: "
+            "$REPRO_JOBS or 1; 0 = one per CPU); results are "
+            "byte-identical at any job count",
+        )
 
     p = sub.add_parser("figure1", help="print the Figure 1 table")
     add_nf(p)
@@ -386,6 +583,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default="",
                    help="also write the campaign summary as JSON to this path")
     p.add_argument("--verbose", action="store_true", help="per-run progress")
+    add_parallel_opts(p)
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the run cache (always re-execute)")
+    p.add_argument("--cache-dir", default="benchmarks/.cache",
+                   help="content-addressed run cache directory")
     p.set_defaults(func=_cmd_chaos)
 
     def add_workload_opts(p):
@@ -407,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default="", help="write the full JSON report here")
     p.add_argument("--jsonl", default="",
                    help="write per-step time series as JSON Lines here")
+    p.add_argument("--runs", type=int, default=1,
+                   help="seeded runs (seeds seed..seed+runs-1); with runs > 1 "
+                   "the per-worker registries are merged into one batch report")
+    add_parallel_opts(p)
     p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
@@ -418,6 +624,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--value-bits", type=int, default=8)
     add_workload_opts(p)
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "sweep",
+        help="Section 2 parameter sweeps over the standard grids",
+    )
+    add_parallel_opts(p)
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the run cache (always recompute)")
+    p.add_argument("--cache-dir", default="benchmarks/.cache",
+                   help="content-addressed run cache directory")
+    p.add_argument("--out", default="",
+                   help="also write the sweep tables to this path")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("communication", help="per-op message/bit costs")
     p.add_argument(

@@ -33,6 +33,9 @@ from repro.errors import StuckExecutionError
 from repro.faults.adversary import AdversaryConfig, ChannelAdversary, Partition
 from repro.faults.recovery import CrashRecoverySchedule
 from repro.faults.watchdog import Diagnosis, LivenessWatchdog
+from repro.parallel.cache import RunCache
+from repro.parallel.fingerprint import code_fingerprint
+from repro.parallel.pool import run_tasks
 from repro.registers.abd import build_abd_system
 from repro.registers.base import SystemHandle
 from repro.registers.cas import build_cas_system
@@ -226,6 +229,77 @@ class ChaosRunResult:
         if self.live:
             return "live"
         return self.diagnosis.verdict if self.diagnosis else "silent-hang"
+
+    # -- cache round-trip ----------------------------------------------------
+
+    def to_cache_dict(self) -> dict:
+        """JSON-safe serialization carrying every report-relevant field.
+
+        The round trip is lossless with respect to both report formats:
+        ``CampaignReport.format()`` and ``to_json_dict()`` produce
+        byte-identical output from a restored result.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "config": dataclasses.asdict(self.config),
+            "invoked": self.invoked,
+            "completed": self.completed,
+            "live": self.live,
+            "safety_ok": self.safety_ok,
+            "safety_reason": self.safety_reason,
+            "diagnosis": (
+                None
+                if self.diagnosis is None
+                else {
+                    "verdict": self.diagnosis.verdict,
+                    "detail": self.diagnosis.detail,
+                    "step": self.diagnosis.step,
+                    "pending_ops": list(self.diagnosis.pending_ops),
+                    "blocked_channels": [
+                        list(key) for key in self.diagnosis.blocked_channels
+                    ],
+                    "undelivered": self.diagnosis.undelivered,
+                    "live_servers": list(self.diagnosis.live_servers),
+                }
+            ),
+            "steps": self.steps,
+            "fault_stats": dict(self.fault_stats),
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+        }
+
+    @classmethod
+    def from_cache_dict(cls, data: dict) -> "ChaosRunResult":
+        """Rebuild a result from :meth:`to_cache_dict` output."""
+        diag = data["diagnosis"]
+        return cls(
+            algorithm=data["algorithm"],
+            config=FaultConfig(**data["config"]),
+            invoked=data["invoked"],
+            completed=data["completed"],
+            live=data["live"],
+            safety_ok=data["safety_ok"],
+            safety_reason=data["safety_reason"],
+            diagnosis=(
+                None
+                if diag is None
+                else Diagnosis(
+                    verdict=diag["verdict"],
+                    detail=diag["detail"],
+                    step=diag["step"],
+                    pending_ops=tuple(diag["pending_ops"]),
+                    blocked_channels=tuple(
+                        tuple(key) for key in diag["blocked_channels"]
+                    ),
+                    undelivered=diag["undelivered"],
+                    live_servers=tuple(diag["live_servers"]),
+                )
+            ),
+            steps=data["steps"],
+            fault_stats=dict(data["fault_stats"]),
+            crashes=data["crashes"],
+            recoveries=data["recoveries"],
+        )
 
 
 def run_chaos_workload(
@@ -476,6 +550,51 @@ class CampaignReport:
         }
 
 
+def _campaign_task(payload: dict) -> dict:
+    """One (algorithm, fault config) run, from a picklable payload.
+
+    Module-level so the worker pool can dispatch it by reference; the
+    payload is the same plain-JSON dict the cache key hashes, so the
+    parallel path and the cache share one task representation.
+    """
+    builder = CAMPAIGN_ALGORITHMS[payload["algorithm"]]
+    handle = builder(payload["n"], payload["f"], payload["value_bits"])
+    config = FaultConfig(**payload["config"])
+    result = run_chaos_workload(
+        handle, config, payload["num_ops"], payload["max_ticks"]
+    )
+    return result.to_cache_dict()
+
+
+def campaign_task_payload(
+    algorithm: str,
+    config: FaultConfig,
+    n: int,
+    f: int,
+    value_bits: int,
+    num_ops: int,
+    max_ticks: int,
+) -> dict:
+    """The declarative description of one campaign run."""
+    return {
+        "kind": "chaos-run",
+        "algorithm": algorithm,
+        "config": dataclasses.asdict(config),
+        "n": n,
+        "f": f,
+        "value_bits": value_bits,
+        "num_ops": num_ops,
+        "max_ticks": max_ticks,
+    }
+
+
+def campaign_task_key(payload: dict) -> str:
+    """Cache key for one campaign run: payload + code fingerprint."""
+    return RunCache.key_for(
+        {"schema": 1, "fingerprint": code_fingerprint(), **payload}
+    )
+
+
 def run_campaign(
     algorithms: Sequence[str] = ("abd", "cas", "casgc"),
     n: int = 5,
@@ -485,21 +604,70 @@ def run_campaign(
     num_ops: int = 10,
     max_ticks: int = 60_000,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
 ) -> CampaignReport:
-    """Run every algorithm under every generated fault config."""
+    """Run every algorithm under every generated fault config.
+
+    ``jobs`` fans independent runs out over a worker pool (default:
+    ``REPRO_JOBS`` or serial); results are merged in task order so the
+    report is byte-identical at any job count.  ``cache`` skips runs
+    whose key (parameters + seed + code fingerprint) is already stored;
+    a fully warm cache executes zero simulator runs.
+    """
     report = CampaignReport(n=n, f=f, value_bits=value_bits, num_ops=num_ops)
     configs = generate_fault_configs(f, list(seeds))
-    for algorithm in algorithms:
-        builder = CAMPAIGN_ALGORITHMS[algorithm]
-        for config in configs:
-            handle = builder(n, f, value_bits)
-            result = run_chaos_workload(handle, config, num_ops, max_ticks)
-            report.results.append(result)
+    tasks = [
+        campaign_task_payload(
+            algorithm, config, n, f, value_bits, num_ops, max_ticks
+        )
+        for algorithm in algorithms
+        for config in configs
+    ]
+
+    slots: List[Optional[dict]] = [None] * len(tasks)
+    cached_indices: set = set()
+    if cache is not None:
+        for index, payload in enumerate(tasks):
+            slots[index] = cache.get(campaign_task_key(payload))
+            if slots[index] is not None:
+                cached_indices.add(index)
+    pending = [i for i in range(len(tasks)) if i not in cached_indices]
+
+    emitted = 0
+
+    def emit_ready_prefix() -> None:
+        """Stream progress for the contiguous completed prefix, in order."""
+        nonlocal emitted
+        while emitted < len(slots) and slots[emitted] is not None:
             if progress is not None:
+                result = ChaosRunResult.from_cache_dict(slots[emitted])
                 progress(
-                    f"{algorithm}/{config.label()}: {result.verdict()}"
+                    f"{result.algorithm}/{result.config.label()}: "
+                    f"{result.verdict()}"
                     f"{'' if result.safety_ok else ' SAFETY VIOLATED'}"
+                    f"{' (cached)' if emitted in cached_indices else ''}"
                 )
+            emitted += 1
+
+    emit_ready_prefix()
+
+    def collect(pending_pos: int, data: dict) -> None:
+        index = pending[pending_pos]
+        slots[index] = data
+        if cache is not None:
+            cache.put(campaign_task_key(tasks[index]), data)
+        emit_ready_prefix()
+
+    run_tasks(
+        _campaign_task,
+        [tasks[index] for index in pending],
+        jobs=jobs,
+        on_result=collect,
+    )
+
+    for data in slots:
+        report.results.append(ChaosRunResult.from_cache_dict(data))
     return report
 
 

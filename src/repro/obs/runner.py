@@ -115,6 +115,24 @@ def run_instrumented_workload(
     )
 
 
+def merge_registries(registries) -> "MetricsRegistry":
+    """Fold per-worker registries into one, in the order given.
+
+    The workhorse of ``repro metrics --runs K --jobs J``: each worker
+    returns its own :class:`~repro.obs.registry.MetricsRegistry`, and
+    the parent folds them via the registry's ``merge`` API (counters
+    add, histograms concatenate, gauges keep combined min/max).
+    Folding in task order keeps the merged snapshot deterministic at
+    any job count.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    return merged
+
+
 def profile_table(run: InstrumentedRun) -> str:
     """Per-phase step-count and wall-clock breakdown for ``repro profile``.
 

@@ -1,0 +1,35 @@
+"""Parallel execution engine with deterministic result merging.
+
+Every heavy workload in this repository — chaos campaigns, theorem
+benches, parameter sweeps — is a collection of *independent* seeded
+runs: each run is a pure function of ``(algorithm, N, f, |V|, seed,
+fault config)``.  This package exploits that in two layers:
+
+* :mod:`repro.parallel.pool` — a ``multiprocessing`` worker pool that
+  fans tasks out and reassembles results **in task order** (results
+  are collected keyed by task index), so a 4-worker campaign report is
+  byte-identical to the serial one.  ``--jobs 1`` (the default) runs
+  in-process with no pool at all.
+* :mod:`repro.parallel.cache` — a content-addressed run cache under
+  ``benchmarks/.cache/``: the key hashes the task parameters, the seed,
+  and a fingerprint of the ``src/repro`` source tree
+  (:mod:`repro.parallel.fingerprint`), so results survive re-runs but
+  never survive a code change.
+
+See ``docs/parallelism.md`` for the determinism contract and the cache
+key design.
+"""
+
+from repro.parallel.cache import DEFAULT_CACHE_DIR, RunCache
+from repro.parallel.fingerprint import FINGERPRINT_ENV, code_fingerprint
+from repro.parallel.pool import JOBS_ENV, resolve_jobs, run_tasks
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "FINGERPRINT_ENV",
+    "JOBS_ENV",
+    "RunCache",
+    "code_fingerprint",
+    "resolve_jobs",
+    "run_tasks",
+]

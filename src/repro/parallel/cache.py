@@ -1,0 +1,91 @@
+"""Content-addressed run cache for deterministic simulation results.
+
+Every run this repository executes is a pure function of its
+parameters, its seed, and the code — so its result can be cached under
+a key that hashes exactly those three things and replayed forever
+after.  The cache is a plain directory of JSON files (sharded by key
+prefix), human-inspectable and safe to delete wholesale at any time:
+it is a pure accelerator, never a source of truth.
+
+Key design (see ``docs/parallelism.md``):
+
+* the caller assembles a JSON payload of everything that determines
+  the run — kind tag, algorithm, parameters, seed, fault config —
+  and should include :func:`repro.parallel.fingerprint.code_fingerprint`
+  so any source edit invalidates every entry;
+* :meth:`RunCache.key_for` hashes the canonical serialization
+  (``sort_keys=True``, compact separators) with SHA-256.
+
+Values must be JSON-serializable; a corrupt or unreadable entry is
+treated as a miss (and counted as one).  Writes are atomic
+(tmp-file + ``os.replace``) so concurrent processes can share a cache
+directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+#: Conventional cache location, relative to the repository root.
+DEFAULT_CACHE_DIR = os.path.join("benchmarks", ".cache")
+
+
+class RunCache:
+    """A directory of content-addressed JSON run results.
+
+    Tracks ``hits`` / ``misses`` / ``stores`` so callers can report
+    cache effectiveness (and tests can assert "zero runs executed" on
+    a warm cache).
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @staticmethod
+    def key_for(payload: dict) -> str:
+        """SHA-256 of the canonical JSON serialization of ``payload``."""
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached value for ``key``, or None (counted as a miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                value = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: dict) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(value, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def stats_line(self) -> str:
+        """One-line summary for CLI output (never part of report files)."""
+        return (
+            f"cache: {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} store(s) in {self.root}"
+        )
+
+    def __repr__(self) -> str:
+        return f"RunCache({self.root!r}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,49 @@
+"""Source-tree fingerprint: the cache-invalidation half of the run cache.
+
+A cached run result is only valid while the code that produced it is
+unchanged, so every cache key embeds a digest of the whole
+``src/repro`` source tree (sorted relative paths + file contents).
+Any edit to any module — simulator, protocol, fault injection, bound
+formula — changes the fingerprint and silently invalidates every
+cached run, which is exactly the conservative behavior a
+reproduction repo wants: a stale table can never masquerade as fresh.
+
+The ``REPRO_CODE_FINGERPRINT`` environment variable overrides the
+computed digest; tests use it to simulate a code change without
+editing files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional
+
+#: Override hook (primarily for tests simulating a code change).
+FINGERPRINT_ENV = "REPRO_CODE_FINGERPRINT"
+
+_computed: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hex digest of every ``.py`` file under ``src/repro``.
+
+    Computed once per process (the tree is immutable while running);
+    the ``REPRO_CODE_FINGERPRINT`` environment variable, when set,
+    wins unconditionally.
+    """
+    override = os.environ.get(FINGERPRINT_ENV)
+    if override:
+        return override
+    global _computed
+    if _computed is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _computed = digest.hexdigest()
+    return _computed

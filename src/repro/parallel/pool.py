@@ -1,0 +1,115 @@
+"""Worker-pool task fan-out with deterministic, task-ordered merging.
+
+The engine's contract is *byte-determinism*: for any task list, the
+result list (and every ``on_result`` callback) is identical whether the
+tasks ran serially, on 2 workers, or on 16 — worker completion order
+never leaks into output order.  That holds because
+
+* tasks are dispatched with their index attached,
+* results are collected keyed by that index, and
+* ``on_result`` fires only for the contiguous completed prefix, i.e.
+  in task order.
+
+Task functions must be module-level (picklable by reference) and task
+payloads picklable values; both are satisfied by the plain-dict
+payloads the campaign/sweep integrations use.
+
+Job-count resolution: an explicit ``jobs`` argument wins; otherwise the
+``REPRO_JOBS`` environment variable; otherwise 1 (serial, in-process —
+no pool, no fork, no pickling).  ``jobs <= 0`` means "one per CPU".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a job count: explicit arg > ``REPRO_JOBS`` env > 1.
+
+    Non-positive values (from either source) mean "one worker per CPU".
+    A malformed ``REPRO_JOBS`` is ignored rather than fatal — the CLI
+    should never crash because of a stray environment variable.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _call_indexed(item):
+    """Worker-side shim: run one indexed task, return (index, result)."""
+    fn, index, payload = item
+    return index, fn(payload)
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits sys.path) where available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    payloads: Sequence[T],
+    jobs: Optional[int] = None,
+    on_result: Optional[Callable[[int, R], None]] = None,
+) -> List[R]:
+    """Run ``fn`` over ``payloads``; return results in payload order.
+
+    ``on_result(index, result)`` — when given — is invoked in strict
+    task order regardless of which worker finished first, so progress
+    output is as deterministic as the result list.
+
+    With an effective job count of 1 (or a single task) everything runs
+    in-process: no subprocesses, no pickling, identical semantics.  If
+    the host forbids worker pools (sandboxed semaphores), the engine
+    degrades to serial execution instead of failing.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    workers = min(resolve_jobs(jobs), len(payloads))
+    if workers <= 1:
+        results: List[R] = []
+        for index, payload in enumerate(payloads):
+            result = fn(payload)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+    try:
+        pool = _pool_context().Pool(processes=workers)
+    except (OSError, PermissionError, ValueError):
+        return run_tasks(fn, payloads, jobs=1, on_result=on_result)
+
+    slots: List[Optional[R]] = [None] * len(payloads)
+    completed = {}
+    next_emit = 0
+    try:
+        tasks = [(fn, index, payload) for index, payload in enumerate(payloads)]
+        for index, result in pool.imap_unordered(_call_indexed, tasks):
+            slots[index] = result
+            completed[index] = True
+            while on_result is not None and next_emit in completed:
+                on_result(next_emit, slots[next_emit])
+                next_emit += 1
+    finally:
+        pool.close()
+        pool.join()
+    return slots  # every slot filled: imap_unordered yielded each index once

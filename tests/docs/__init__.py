@@ -1,0 +1,1 @@
+"""Docs-drift guard: the documentation must track the code."""

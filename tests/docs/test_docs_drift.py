@@ -1,0 +1,87 @@
+"""Keep the docs in lockstep with the code (``make docs-check``).
+
+Three invariants, derived from the code so the test cannot itself
+drift:
+
+1. every CLI verb (from the real ``build_parser()``) is mentioned as
+   ``repro <verb>`` somewhere in README.md or docs/;
+2. every package under ``src/repro/`` is mentioned as ``repro.<pkg>``
+   in the docs tree, and ``docs/README.md`` links every docs page;
+3. every public module carries a docstring.
+
+Removing a verb or package from the docs — or adding one to the code
+without documenting it — fails this suite.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent.parent
+DOCS = REPO / "docs"
+SRC = REPO / "src" / "repro"
+
+
+def _docs_corpus() -> str:
+    parts = [(REPO / "README.md").read_text(encoding="utf-8")]
+    for page in sorted(DOCS.glob("*.md")):
+        parts.append(page.read_text(encoding="utf-8"))
+    return "\n".join(parts)
+
+
+def _cli_verbs():
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        return sorted(action.choices)
+    raise AssertionError("CLI has no subcommands")
+
+
+def _packages():
+    return sorted(
+        p.name for p in SRC.iterdir() if p.is_dir() and (p / "__init__.py").exists()
+    )
+
+
+@pytest.mark.parametrize("verb", _cli_verbs())
+def test_every_cli_verb_documented(verb):
+    assert f"repro {verb}" in _docs_corpus(), (
+        f"CLI verb '{verb}' exists in build_parser() but 'repro {verb}' "
+        f"appears nowhere in README.md or docs/ — document it "
+        f"(docs/README.md pairs every verb with a page)"
+    )
+
+
+@pytest.mark.parametrize("package", _packages())
+def test_every_package_documented(package):
+    assert f"repro.{package}" in _docs_corpus(), (
+        f"package 'repro.{package}' exists under src/repro/ but is never "
+        f"mentioned in README.md or docs/ — add it to the package index "
+        f"in docs/README.md"
+    )
+
+
+def test_docs_index_links_every_page():
+    index = (DOCS / "README.md").read_text(encoding="utf-8")
+    for page in sorted(DOCS.glob("*.md")):
+        if page.name == "README.md":
+            continue
+        assert f"({page.name})" in index, (
+            f"docs/{page.name} exists but docs/README.md does not link it"
+        )
+
+
+def _modules():
+    return sorted(
+        path.relative_to(REPO).as_posix() for path in SRC.rglob("*.py")
+    )
+
+
+@pytest.mark.parametrize("relpath", _modules())
+def test_every_module_has_docstring(relpath):
+    tree = ast.parse((REPO / relpath).read_text(encoding="utf-8"))
+    if relpath.endswith("__main__.py"):
+        return  # entry-point shims may be bare
+    assert ast.get_docstring(tree), f"{relpath} has no module docstring"

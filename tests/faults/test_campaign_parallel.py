@@ -1,0 +1,111 @@
+"""The campaign's byte-determinism and cache contracts.
+
+Two acceptance properties of the parallel engine, checked end to end
+against the real chaos campaign:
+
+1. the report text and the ``repro.chaos/1`` JSON are byte-identical
+   at any job count, and
+2. a warm cache executes **zero** simulator runs while still
+   reproducing the identical report (and a code-fingerprint change
+   invalidates every entry).
+"""
+
+import json
+
+import pytest
+
+import repro.faults.campaign as campaign_mod
+from repro.faults.campaign import campaign_task_payload, run_campaign
+from repro.parallel import FINGERPRINT_ENV, RunCache
+
+#: Two seeds so the identity claim covers the whole seeded config grid.
+PARAMS = dict(
+    algorithms=("abd",), n=5, f=1, value_bits=6, seeds=[0, 1], num_ops=4
+)
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_campaign(jobs=1, **PARAMS)
+
+
+@pytest.fixture(scope="module")
+def parallel_report():
+    return run_campaign(jobs=4, **PARAMS)
+
+
+class TestByteIdentity:
+    def test_report_text_identical(self, serial_report, parallel_report):
+        assert parallel_report.format() == serial_report.format()
+
+    def test_json_identical(self, serial_report, parallel_report):
+        def dump(report):
+            return json.dumps(report.to_json_dict(), sort_keys=True, indent=2)
+
+        assert dump(parallel_report) == dump(serial_report)
+
+    def test_progress_lines_in_task_order(self):
+        lines = {}
+        for jobs in (1, 3):
+            acc = []
+            run_campaign(
+                algorithms=("abd",), n=5, f=1, value_bits=6,
+                seeds=[0], num_ops=3, jobs=jobs, progress=acc.append,
+            )
+            lines[jobs] = acc
+        assert lines[3] == lines[1]
+        assert len(lines[1]) > 0
+
+
+class TestRunCache:
+    SMALL = dict(
+        algorithms=("abd",), n=5, f=1, value_bits=6, seeds=[0], num_ops=3
+    )
+
+    def test_warm_cache_executes_zero_runs(self, tmp_path, monkeypatch):
+        cache = RunCache(str(tmp_path))
+        first = run_campaign(cache=cache, **self.SMALL)
+        runs = len(first.results)
+        assert cache.stores == runs and cache.hits == 0
+
+        # Any attempt to actually simulate on the warm pass is a failure.
+        def boom(payload):
+            raise AssertionError("simulator run executed on warm cache")
+
+        monkeypatch.setattr(campaign_mod, "_campaign_task", boom)
+        warm_cache = RunCache(str(tmp_path))
+        progress = []
+        second = run_campaign(
+            cache=warm_cache, progress=progress.append, **self.SMALL
+        )
+        assert warm_cache.hits == runs
+        assert warm_cache.stores == 0
+        assert second.format() == first.format()
+        assert json.dumps(second.to_json_dict(), sort_keys=True) == json.dumps(
+            first.to_json_dict(), sort_keys=True
+        )
+        assert progress and all(line.endswith("(cached)") for line in progress)
+
+    def test_fingerprint_change_invalidates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FINGERPRINT_ENV, "code-version-a")
+        cache = RunCache(str(tmp_path))
+        run_campaign(cache=cache, **self.SMALL)
+        stores = cache.stores
+        assert stores > 0
+
+        monkeypatch.setenv(FINGERPRINT_ENV, "code-version-b")
+        cold = RunCache(str(tmp_path))
+        run_campaign(cache=cold, **self.SMALL)
+        assert cold.hits == 0
+        assert cold.misses == stores
+        assert cold.stores == stores
+
+    def test_key_covers_all_parameters(self):
+        from repro.faults.campaign import FaultConfig, campaign_task_key
+
+        config = FaultConfig(name="clean", seed=0)
+        base = campaign_task_payload("abd", config, 5, 1, 6, 4, 60_000)
+        key = campaign_task_key(base)
+        for field, value in (("n", 7), ("num_ops", 5), ("algorithm", "cas")):
+            changed = dict(base, **{field: value})
+            assert campaign_task_key(changed) != key, field

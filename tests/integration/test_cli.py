@@ -22,8 +22,13 @@ class TestParser:
             ["demo"],
             ["metrics", "--algorithm", "cas", "-n", "5", "-f", "1"],
             ["metrics", "--algorithm", "abd", "--json", "out.json"],
+            ["metrics", "--algorithm", "cas", "--runs", "4", "--jobs", "2"],
             ["profile", "--algorithm", "abd", "--ops", "6"],
             ["chaos", "--json", "out.json"],
+            ["chaos", "--jobs", "4", "--no-cache"],
+            ["chaos", "--cache-dir", "/tmp/somewhere"],
+            ["sweep"],
+            ["sweep", "--jobs", "2", "--no-cache", "--out", "s.txt"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -174,6 +179,7 @@ class TestObservabilityCommands:
         assert main([
             "chaos", "--algorithms", "abd", "-n", "5", "-f", "1",
             "--seeds", "1", "--ops", "4", "--out", "", "--json", str(path),
+            "--cache-dir", str(tmp_path / "cache"),
         ]) == 0
         assert f"JSON summary written to {path}" in capsys.readouterr().out
         doc = json.loads(path.read_text())
@@ -181,3 +187,76 @@ class TestObservabilityCommands:
         assert doc["passed"] is True
         assert doc["summary"]["runs"] == len(doc["runs"])
         assert all(run["algorithm"] == "abd" for run in doc["runs"])
+
+    def test_chaos_cache_stats_on_stdout_not_in_report(self, capsys, tmp_path):
+        report = tmp_path / "chaos.txt"
+        argv = [
+            "chaos", "--algorithms", "abd", "-n", "5", "-f", "1",
+            "--seeds", "1", "--ops", "3", "--out", str(report),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first_out = capsys.readouterr().out
+        assert "cache:" in first_out
+        first_report = report.read_bytes()
+        assert b"cache:" not in first_report
+
+        # Warm rerun: all hits, byte-identical report file.
+        assert main(argv) == 0
+        assert "0 miss(es)" in capsys.readouterr().out
+        assert report.read_bytes() == first_report
+
+    def test_chaos_no_cache(self, capsys, tmp_path):
+        assert main([
+            "chaos", "--algorithms", "abd", "-n", "5", "-f", "1",
+            "--seeds", "1", "--ops", "3", "--out", "",
+            "--no-cache",
+        ]) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+
+class TestParallelCommands:
+    def test_metrics_runs_batch(self, capsys):
+        assert main([
+            "metrics", "--algorithm", "cas", "-n", "5", "-f", "1",
+            "--ops", "4", "--runs", "3", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics batch" in out
+        assert "per-run summary" in out
+        assert "merged counters" in out
+        assert "VIOLATED" not in out
+
+    def test_metrics_batch_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "batch.json"
+        assert main([
+            "metrics", "--algorithm", "cas", "-n", "5", "-f", "1",
+            "--ops", "4", "--runs", "2", "--json", str(path),
+        ]) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.metrics-batch/1"
+        assert len(doc["runs"]) == 2
+        assert doc["merged"]["counters"]["sim.messages_sent"] > 0
+
+    def test_sweep(self, capsys, tmp_path):
+        out_file = tmp_path / "sweeps.txt"
+        assert main([
+            "sweep", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Improvement over the Singleton-style bound" in out
+        assert "cache:" in out
+        text = out_file.read_text()
+        assert "Finite-|V| convergence" in text
+        assert "cache:" not in text
+
+    def test_sweep_no_cache(self, capsys):
+        assert main(["sweep", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "f proportional to N" in out
+        assert "cache:" not in out

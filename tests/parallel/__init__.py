@@ -1,0 +1,1 @@
+"""Tests for the parallel run engine and the content-addressed cache."""

@@ -1,0 +1,62 @@
+"""RunCache: content addressing, atomicity conventions, failure-as-miss."""
+
+import os
+
+from repro.parallel import FINGERPRINT_ENV, RunCache, code_fingerprint
+
+
+class TestKey:
+    def test_stable_across_key_order(self):
+        a = RunCache.key_for({"alg": "abd", "n": 5, "seed": 1})
+        b = RunCache.key_for({"seed": 1, "n": 5, "alg": "abd"})
+        assert a == b
+        assert len(a) == 64
+
+    def test_distinct_payloads_distinct_keys(self):
+        a = RunCache.key_for({"alg": "abd", "seed": 1})
+        b = RunCache.key_for({"alg": "abd", "seed": 2})
+        assert a != b
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        key = cache.key_for({"kind": "x", "seed": 0})
+        assert cache.get(key) is None
+        cache.put(key, {"rows": [[1, 2.5, "ok"]], "passed": True})
+        assert cache.get(key) == {"rows": [[1, 2.5, "ok"]], "passed": True}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_sharded_layout(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        key = cache.key_for({"seed": 3})
+        cache.put(key, {"v": 1})
+        assert os.path.exists(os.path.join(str(tmp_path), key[:2], key + ".json"))
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        key = cache.key_for({"seed": 9})
+        cache.put(key, {"v": 1})
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        with open(path, "w") as fh:
+            fh.write("{ not json")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_stats_line_mentions_counts(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        cache.get(cache.key_for({"seed": 0}))
+        assert "0 hit(s), 1 miss(es), 0 store(s)" in cache.stats_line()
+
+
+class TestFingerprint:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv(FINGERPRINT_ENV, "pinned-for-test")
+        assert code_fingerprint() == "pinned-for-test"
+
+    def test_computed_is_stable_hex(self, monkeypatch):
+        monkeypatch.delenv(FINGERPRINT_ENV, raising=False)
+        first = code_fingerprint()
+        assert first == code_fingerprint()
+        assert len(first) == 64
+        int(first, 16)  # valid hex digest

@@ -1,0 +1,84 @@
+"""The engine's byte-determinism contract: task order in, task order out."""
+
+import pytest
+
+from repro.parallel import JOBS_ENV, resolve_jobs, run_tasks
+
+
+def square(x):
+    return x * x
+
+
+def describe(payload):
+    return {"name": payload["name"], "value": payload["value"] + 1}
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_used_when_no_arg(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs() == 5
+
+    def test_malformed_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "lots")
+        assert resolve_jobs() == 1
+
+    def test_nonpositive_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-4) >= 1
+
+
+class TestRunTasks:
+    def test_empty(self):
+        assert run_tasks(square, []) == []
+
+    def test_serial_preserves_order(self):
+        assert run_tasks(square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_matches_serial(self, jobs):
+        payloads = [{"name": f"t{i}", "value": i} for i in range(9)]
+        serial = run_tasks(describe, payloads, jobs=1)
+        parallel = run_tasks(describe, payloads, jobs=jobs)
+        assert parallel == serial
+
+    def test_on_result_fires_in_task_order_serial(self):
+        seen = []
+        run_tasks(square, [5, 4, 3], jobs=1, on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, 25), (1, 16), (2, 9)]
+
+    def test_on_result_fires_in_task_order_parallel(self):
+        seen = []
+        results = run_tasks(
+            square, list(range(12)), jobs=3, on_result=lambda i, r: seen.append((i, r))
+        )
+        assert results == [i * i for i in range(12)]
+        # Completion order may be anything; emission order may not.
+        assert seen == [(i, i * i) for i in range(12)]
+
+    def test_single_task_runs_in_process(self):
+        # workers = min(jobs, len(payloads)) == 1 -> serial path.
+        assert run_tasks(square, [6], jobs=8) == [36]
+
+    def test_pool_failure_degrades_to_serial(self, monkeypatch):
+        import repro.parallel.pool as pool_mod
+
+        class Exploding:
+            def Pool(self, processes):
+                raise OSError("no semaphores here")
+
+        monkeypatch.setattr(pool_mod, "_pool_context", lambda: Exploding())
+        seen = []
+        results = run_tasks(
+            square, [2, 3], jobs=2, on_result=lambda i, r: seen.append(i)
+        )
+        assert results == [4, 9]
+        assert seen == [0, 1]
