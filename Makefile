@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-tier1 bench examples verify-proofs figure1 chaos sweep metrics-smoke docs-check clean
+.PHONY: install test test-tier1 bench bench-core perf-guard examples verify-proofs figure1 chaos sweep metrics-smoke docs-check clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,19 @@ test-tier1:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Core hot-path rates (fork, enabled-channel query, exploration,
+# checker), each against its legacy implementation.  Rewrites
+# benchmarks/results/BENCH_core.json — commit it to refresh the perf
+# baseline after an intentional performance change.
+bench-core:
+	$(PYTHON) -m benchmarks.bench_core
+
+# Fail (exit 1) if any core speedup factor fell more than 30% below
+# the committed BENCH_core.json baseline.  Also runs as a tier-2 test
+# (tests/perf/test_core_regression.py), excluded from tier-1.
+perf-guard:
+	$(PYTHON) -m benchmarks.perf_guard
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

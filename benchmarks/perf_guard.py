@@ -1,0 +1,79 @@
+"""Perf-regression guard over the core hot-path benchmark.
+
+Reruns :func:`benchmarks.bench_core.run_core_bench` and compares its
+*speedup factors* against the committed baseline record
+(``benchmarks/results/BENCH_core.json``).  Speedups are before/after
+ratios measured on the same machine in the same process, so they are
+robust to host speed differences where absolute throughput numbers are
+not — and they collapse immediately if a hot-path optimisation is
+broken (e.g. a fork falling back to ``copy.deepcopy``).
+
+A fresh factor more than ``THRESHOLD`` (30%) below its baseline is a
+regression: ``main`` exits non-zero and the tier-2 test
+(``tests/perf/test_core_regression.py``) fails.  Refresh the baseline
+with ``make bench-core`` after an intentional performance change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, List
+
+from benchmarks.common import RESULTS_DIR
+
+#: Maximum tolerated relative drop of a speedup factor vs the baseline.
+THRESHOLD = 0.30
+
+#: Record sections whose ``speedup`` entry is guarded.
+GUARDED_SECTIONS = ("fork", "enabled_channels", "exploration", "checker")
+
+BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_core.json")
+
+
+def load_baseline(path: str = BASELINE_PATH) -> Dict[str, dict]:
+    """The committed BENCH_core.json record."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_records(
+    baseline: Dict[str, dict],
+    fresh: Dict[str, dict],
+    threshold: float = THRESHOLD,
+) -> List[str]:
+    """Regression messages (empty when every guarded factor holds up)."""
+    failures = []
+    for section in GUARDED_SECTIONS:
+        base = baseline[section]["speedup"]
+        now = fresh[section]["speedup"]
+        if now < base * (1.0 - threshold):
+            failures.append(
+                f"{section}: speedup {now}x fell more than "
+                f"{threshold:.0%} below baseline {base}x"
+            )
+    return failures
+
+
+def main() -> int:
+    from benchmarks.bench_core import run_core_bench
+
+    baseline = load_baseline()
+    fresh = run_core_bench()
+    for section in GUARDED_SECTIONS:
+        print(
+            f"  {section}: baseline {baseline[section]['speedup']}x, "
+            f"fresh {fresh[section]['speedup']}x"
+        )
+    failures = compare_records(baseline, fresh)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1
+    print("perf guard: all core speedups within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,10 @@ class GF2m:
     the constructor.
     """
 
+    #: Immutable singleton: World forks share field instances (the
+    #: ``__deepcopy__`` below gives deepcopy the same semantics).
+    __clone_shared__ = True
+
     def __init__(self, m: int, poly: int) -> None:
         if not 1 <= m <= 16:
             raise FieldError(f"GF(2^m) supported for 1 <= m <= 16, got m={m}")

@@ -35,6 +35,10 @@ class ReedSolomonCode:
         ``n`` evaluation points (``n <= 2^m``).
     """
 
+    #: Read-only after construction: World forks share code instances
+    #: (encode/decode never mutate the generator or the point list).
+    __clone_shared__ = True
+
     def __init__(self, n: int, k: int, m: Optional[int] = None) -> None:
         if k < 1 or n < k:
             raise CodingError(f"need 1 <= k <= n, got n={n}, k={k}")

@@ -17,6 +17,9 @@ from repro.errors import CodingError, DecodingError, EncodingError
 class ReplicationCode:
     """The ``(n, 1)`` repetition code over a ``value_bits``-bit value space."""
 
+    #: Read-only after construction: World forks share code instances.
+    __clone_shared__ = True
+
     def __init__(self, n: int, value_bits: int) -> None:
         if n < 1:
             raise CodingError(f"need n >= 1, got {n}")

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim.clone import clone_instance_state
 from repro.sim.events import Message
 from repro.sim.scheduler import ChannelFilter, ChannelKey
 from repro.util.rng import SeededRNG
@@ -57,6 +58,9 @@ class Partition:
     """
 
     groups: Tuple[FrozenSet[str], ...]
+
+    #: Frozen: World forks share Partition instances.
+    __clone_shared__ = True
 
     def __post_init__(self) -> None:
         seen: set = set()
@@ -97,6 +101,9 @@ class AdversaryConfig:
     Probabilities are per delivery attempt; all are 0 by default, so an
     adversary with the default config behaves like reliable channels.
     """
+
+    #: Frozen: World forks share AdversaryConfig instances.
+    __clone_shared__ = True
 
     drop_probability: float = 0.0
     duplicate_probability: float = 0.0
@@ -151,6 +158,17 @@ class ChannelAdversary:
         self.reorders = 0
         self.partitions_started = 0
         self.heals = 0
+
+    def clone(self) -> "ChannelAdversary":
+        """Independent copy for World forks.
+
+        Config and partition are immutable and shared; the RNG stream
+        and injection counters are copied so the fork replays the
+        original's remaining fault decisions bit-for-bit.  Delegates to
+        the generic state cloner so subclasses with extra plain-data
+        state fork correctly too.
+        """
+        return clone_instance_state(self)
 
     # -- partition gate (consulted by World.enabled_channels) ----------------
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.sim.clone import clone_state_value
+
 
 @dataclass(frozen=True)
 class Message:
@@ -20,6 +22,9 @@ class Message:
 
     kind: str
     body: Tuple[Tuple[str, Any], ...] = ()
+
+    #: Frozen: World forks share Message instances instead of copying.
+    __clone_shared__ = True
 
     @classmethod
     def make(cls, kind: str, **body: Any) -> "Message":
@@ -60,6 +65,9 @@ class ActionRecord:
     dst: Optional[str] = None
     info: Optional[str] = None
 
+    #: Frozen: forked traces share ActionRecord instances.
+    __clone_shared__ = True
+
 
 @dataclass
 class OperationRecord:
@@ -82,6 +90,18 @@ class OperationRecord:
     def is_complete(self) -> bool:
         """True once the operation has responded."""
         return self.response_step is not None
+
+    def clone(self) -> "OperationRecord":
+        """Independent copy for World forks (``meta`` holds plain data)."""
+        return OperationRecord(
+            op_id=self.op_id,
+            client=self.client,
+            kind=self.kind,
+            value=self.value,
+            invoke_step=self.invoke_step,
+            response_step=self.response_step,
+            meta=clone_state_value(self.meta),
+        )
 
     def overlaps(self, other: "OperationRecord") -> bool:
         """True iff the two operations' intervals overlap.

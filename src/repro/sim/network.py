@@ -12,7 +12,26 @@ Key operations used by the executable proofs:
 * :meth:`deliver_all` — drain every channel matched by a filter (the
   proofs' "the channels between the servers deliver all their
   messages");
-* :meth:`fork` — deep-copy the whole World at the current point.
+* :meth:`fork` — copy the whole World at the current point.
+
+Hot-path design notes
+---------------------
+
+Forking and stepping dominate every executable proof and chaos
+campaign, so both avoid reflective work:
+
+* ``fork()`` uses the explicit clone protocol (``Process.clone``,
+  ``Channel.clone``, ``Scheduler.clone``, ``OperationRecord.clone``,
+  adversary ``clone``) instead of ``copy.deepcopy``;
+  :meth:`deepcopy_fork` keeps the old behaviour as the reference
+  implementation for equivalence tests and benchmarks.
+* ``enabled_channels()`` reads an incrementally maintained sorted
+  index of non-empty channels (updated by channel transition
+  callbacks on enqueue/dequeue) instead of rescanning and re-sorting
+  every channel per step.  The scheduler sees exactly the same sorted
+  key list as before, so schedules are byte-identical.
+* ``servers()``/``clients()`` and ``pending_operations()`` are served
+  from caches invalidated at the (single) mutation points.
 """
 
 from __future__ import annotations
@@ -51,6 +70,17 @@ class World:
         self.operations: List[OperationRecord] = []
         self._next_op_id = 0
         self.record_trace = True
+        #: Keys of channels currently holding messages, maintained by
+        #: :meth:`_channel_transition`; ``_nonempty_sorted`` caches the
+        #: sorted view and is invalidated on every transition.
+        self._nonempty: set = set()
+        self._nonempty_sorted: Optional[List[ChannelKey]] = None
+        #: Topology caches (invalidated by :meth:`add_process`).
+        self._servers_cache: Optional[List[ServerProcess]] = None
+        self._clients_cache: Optional[List[ClientProcess]] = None
+        #: Incomplete operations by op id, maintained by ``invoke_*``
+        #: and :meth:`complete_operation` (insertion = invocation order).
+        self._pending_ops: Dict[int, OperationRecord] = {}
         #: Optional :class:`repro.faults.adversary.ChannelAdversary`.
         #: When set, deliveries may be lost, duplicated or reordered and
         #: an active partition gates which channels are enabled.  The
@@ -71,6 +101,8 @@ class World:
         if process.pid in self.processes:
             raise SimulationError(f"duplicate process id {process.pid!r}")
         self.processes[process.pid] = process
+        self._servers_cache = None
+        self._clients_cache = None
         return process
 
     def process(self, pid: str) -> Process:
@@ -81,18 +113,22 @@ class World:
             raise UnknownProcessError(f"no process {pid!r}") from None
 
     def servers(self) -> List[ServerProcess]:
-        """All registered servers, sorted by id."""
-        return sorted(
-            (p for p in self.processes.values() if isinstance(p, ServerProcess)),
-            key=lambda p: p.pid,
-        )
+        """All registered servers, sorted by id (cached)."""
+        if self._servers_cache is None:
+            self._servers_cache = sorted(
+                (p for p in self.processes.values() if isinstance(p, ServerProcess)),
+                key=lambda p: p.pid,
+            )
+        return list(self._servers_cache)
 
     def clients(self) -> List[ClientProcess]:
-        """All registered clients, sorted by id."""
-        return sorted(
-            (p for p in self.processes.values() if isinstance(p, ClientProcess)),
-            key=lambda p: p.pid,
-        )
+        """All registered clients, sorted by id (cached)."""
+        if self._clients_cache is None:
+            self._clients_cache = sorted(
+                (p for p in self.processes.values() if isinstance(p, ClientProcess)),
+                key=lambda p: p.pid,
+            )
+        return list(self._clients_cache)
 
     def channel(self, src: str, dst: str) -> Channel:
         """The channel src->dst, created lazily."""
@@ -100,8 +136,22 @@ class World:
         if key not in self.channels:
             if src not in self.processes or dst not in self.processes:
                 raise UnknownProcessError(f"channel endpoints {key} unknown")
-            self.channels[key] = Channel(src, dst)
+            self.channels[key] = Channel(src, dst, self._channel_transition)
         return self.channels[key]
+
+    def _channel_transition(self, channel: Channel, nonempty: bool) -> None:
+        """Channel callback: keep the non-empty index in sync.
+
+        Fired by :class:`Channel` whenever its queue crosses the
+        empty/non-empty boundary, so the index stays correct even when
+        tests enqueue on a channel object directly.
+        """
+        key = (channel.src, channel.dst)
+        if nonempty:
+            self._nonempty.add(key)
+        else:
+            self._nonempty.discard(key)
+        self._nonempty_sorted = None
 
     # -- message plumbing (called by ProcessContext) --------------------------
 
@@ -126,6 +176,7 @@ class World:
         if record.is_complete:
             raise SimulationError(f"op {op_id} already completed")
         record.response_step = self.step_count
+        self._pending_ops.pop(op_id, None)
         if record.kind == "read":
             record.value = value
         if self.obs:
@@ -153,20 +204,29 @@ class World:
         adversary's active partition additionally disables channels
         crossing the cut (their messages stay queued until a heal).
         """
-        keys = [key for key, ch in self.channels.items() if ch]
+        keys = self._nonempty_sorted
+        if keys is None:
+            keys = self._nonempty_sorted = sorted(self._nonempty)
+        filtered = keys
         if channel_filter is not None:
-            keys = [
+            channels = self.channels
+            filtered = [
                 k
-                for k in keys
-                if channel_filter.allows(*k, head_message=self.channels[k].peek())
+                for k in filtered
+                if channel_filter.allows(*k, head_message=channels[k].peek())
             ]
         if self.adversary is not None:
-            keys = [k for k in keys if self.adversary.allows(*k)]
-        return sorted(keys)
+            filtered = [k for k in filtered if self.adversary.allows(*k)]
+        if filtered is keys:
+            filtered = list(keys)  # defend the cached list against callers
+        return filtered
 
     def undelivered_channels(self) -> List[ChannelKey]:
         """All non-empty channel keys, sorted (ignores filters/partitions)."""
-        return sorted(key for key, ch in self.channels.items() if ch)
+        keys = self._nonempty_sorted
+        if keys is None:
+            keys = self._nonempty_sorted = sorted(self._nonempty)
+        return list(keys)
 
     def deliver(self, src: str, dst: str) -> ActionRecord:
         """Execute the delivery action on channel src->dst.
@@ -265,6 +325,7 @@ class World:
         )
         self._next_op_id += 1
         self.operations.append(record)
+        self._pending_ops[record.op_id] = record
         self._record("invoke", src=client_pid, info=f"write({value})")
         record.invoke_step = self.step_count
         if self.obs:
@@ -285,6 +346,7 @@ class World:
         )
         self._next_op_id += 1
         self.operations.append(record)
+        self._pending_ops[record.op_id] = record
         self._record("invoke", src=client_pid, info="read")
         record.invoke_step = self.step_count
         if self.obs:
@@ -308,10 +370,15 @@ class World:
         filter (or an active partition) suppresses every non-empty
         channel, :class:`OperationIncompleteError` if the system truly
         quiesces (no messages anywhere), and the latter again if
-        ``max_steps`` elapse first.
+        ``max_steps`` elapse first.  At most ``max_steps`` deliveries
+        are executed before giving up.
         """
         taken = 0
         while not predicate(self):
+            if taken >= max_steps:
+                raise OperationIncompleteError(
+                    f"predicate still false after {max_steps} steps"
+                )
             record = self.step(channel_filter)
             if record is None:
                 blocked = self.undelivered_channels()
@@ -327,10 +394,6 @@ class World:
                     f"(filter={channel_filter!r})"
                 )
             taken += 1
-            if taken > max_steps:
-                raise OperationIncompleteError(
-                    f"predicate still false after {max_steps} steps"
-                )
         return taken
 
     def run_op_to_completion(
@@ -381,14 +444,68 @@ class World:
         return tuple(p.state_digest() for p in targets)
 
     def pending_operations(self) -> List[OperationRecord]:
-        """Operations invoked but not yet responded."""
-        return [op for op in self.operations if not op.is_complete]
+        """Operations invoked but not yet responded, in invocation order.
+
+        Served from the incomplete-op index maintained by ``invoke_*``
+        and :meth:`complete_operation` — O(pending), not O(history).
+        """
+        return list(self._pending_ops.values())
 
     def fork(self) -> "World":
-        """Deep-copy the World at the current point.
+        """Copy the World at the current point (the fast clone path).
 
         The copy shares nothing mutable with the original: stepping one
-        never affects the other.  Used for valency probing.
+        never affects the other.  Used for valency probing and schedule
+        exploration, so it avoids ``copy.deepcopy``'s per-object
+        reflection via the explicit clone protocol (see the module
+        docstring).  Immutable values — messages, tags, action records,
+        codes — are shared between twins.  :meth:`deepcopy_fork` is the
+        reference implementation; the property tests in
+        ``tests/sim/test_fast_fork.py`` assert both produce observably
+        identical, causally independent Worlds.
+        """
+        clone = World.__new__(World)
+        clone.scheduler = self.scheduler.clone()
+        clone.step_count = self.step_count
+        clone.trace = list(self.trace)  # ActionRecords are frozen: share
+        clone.operations = [op.clone() for op in self.operations]
+        clone._next_op_id = self._next_op_id
+        clone.record_trace = self.record_trace
+        clone.adversary = (
+            None if self.adversary is None else self.adversary.clone()
+        )
+        # A real observer is deep-copied (it may hold mutable metric
+        # state); the NullObserver singleton copies to itself for free.
+        clone.obs = copy.deepcopy(self.obs)
+        clone.processes = {
+            pid: process.clone() for pid, process in self.processes.items()
+        }
+        clone.channels = {}
+        notify = clone._channel_transition
+        for key, channel in self.channels.items():
+            clone.channels[key] = channel.clone(notify)
+        clone._nonempty = set(self._nonempty)
+        clone._nonempty_sorted = None
+        clone._servers_cache = None
+        clone._clients_cache = None
+        # op_id == index in ``operations`` (enforced by invoke_*), so the
+        # pending index can be rebuilt against the cloned records.
+        clone._pending_ops = {
+            op_id: clone.operations[op_id] for op_id in self._pending_ops
+        }
+        # Anything monkeypatched onto this instance (e.g. the message
+        # spies in analysis/communication.py) is copied the way deepcopy
+        # would have copied it.
+        for key, value in self.__dict__.items():
+            if key not in clone.__dict__:
+                clone.__dict__[key] = copy.deepcopy(value)
+        return clone
+
+    def deepcopy_fork(self) -> "World":
+        """Fork via ``copy.deepcopy`` — the slow reference implementation.
+
+        Kept for the fast-fork equivalence property tests and the
+        ``benchmarks/bench_core.py`` before/after comparison.
         """
         return copy.deepcopy(self)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.sim.clone import clone_instance_state
 from repro.sim.events import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -76,6 +77,18 @@ class Process:
         state.
         """
         raise NotImplementedError
+
+    def clone(self) -> "Process":
+        """Independent copy of this process for a World fork.
+
+        The default copies ``__dict__`` through the fast plain-data
+        cloner (:mod:`repro.sim.clone`), which every protocol in this
+        repo satisfies — process state is scalars, tuples, sets, lists
+        and dicts of the same, plus share-safe immutables like codes
+        and tags.  A subclass holding exotic state can override this;
+        unrecognised values fall back to ``copy.deepcopy`` anyway.
+        """
+        return clone_instance_state(self)
 
     def __repr__(self) -> str:
         status = " FAILED" if self.failed else ""

@@ -20,6 +20,7 @@ is a filter, not a message drop: the messages stay queued.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.errors import SchedulerExhaustedError
@@ -148,6 +149,15 @@ class Scheduler:
         """Choose one key from the non-empty ``enabled`` list."""
         raise NotImplementedError
 
+    def clone(self) -> "Scheduler":
+        """Independent copy for World forks.
+
+        Every built-in scheduler overrides this with an explicit fast
+        copy; the base falls back to ``copy.deepcopy`` so third-party
+        schedulers keep working unmodified.
+        """
+        return copy.deepcopy(self)
+
 
 class RoundRobinScheduler(Scheduler):
     """Fair cyclic selection over a persistent order of known keys.
@@ -166,6 +176,13 @@ class RoundRobinScheduler(Scheduler):
         self._order: List[ChannelKey] = []
         self._known: set = set()
         self._cursor = 0
+
+    def clone(self) -> "RoundRobinScheduler":
+        duplicate = RoundRobinScheduler()
+        duplicate._order = list(self._order)
+        duplicate._known = set(self._known)
+        duplicate._cursor = self._cursor
+        return duplicate
 
     def select(self, world: "World", enabled: List[ChannelKey]) -> ChannelKey:
         for key in sorted(enabled):
@@ -191,6 +208,11 @@ class RandomScheduler(Scheduler):
     def __init__(self, seed: int = 0) -> None:
         self.rng = SeededRNG(seed, "scheduler")
 
+    def clone(self) -> "RandomScheduler":
+        duplicate = RandomScheduler.__new__(RandomScheduler)
+        duplicate.rng = self.rng.clone()
+        return duplicate
+
     def select(self, world: "World", enabled: List[ChannelKey]) -> ChannelKey:
         return self.rng.choice(sorted(enabled))
 
@@ -206,6 +228,11 @@ class ScriptedScheduler(Scheduler):
     def __init__(self, script: Sequence[ChannelKey]) -> None:
         self.script: List[ChannelKey] = list(script)
         self.position = 0
+
+    def clone(self) -> "ScriptedScheduler":
+        duplicate = ScriptedScheduler(self.script)
+        duplicate.position = self.position
+        return duplicate
 
     def select(self, world: "World", enabled: List[ChannelKey]) -> ChannelKey:
         if self.position >= len(self.script):

@@ -59,7 +59,13 @@ class SeededRNG:
         """Create an independent child RNG derived from this one's seed."""
         return SeededRNG(derive_seed(self.seed, label))
 
+    def clone(self) -> "SeededRNG":
+        """Independent copy continuing from the exact same stream state."""
+        duplicate = SeededRNG.__new__(SeededRNG)
+        duplicate.seed = self.seed
+        duplicate._rng = random.Random()
+        duplicate._rng.setstate(self._rng.getstate())
+        return duplicate
+
     def __deepcopy__(self, memo) -> "SeededRNG":
-        clone = SeededRNG(self.seed)
-        clone._rng.setstate(self._rng.getstate())
-        return clone
+        return self.clone()

@@ -14,20 +14,57 @@ Complexity is the number of distinct interleaving states, so keep
 configurations tiny (3 servers, 2-3 operations).  ``max_states`` is a
 hard cap; hitting it marks the result ``exhausted=False`` (the
 explored prefix is still sound evidence — no violation found in it).
+
+Partial-order reduction
+-----------------------
+
+With ``por=True`` the explorer prunes redundant interleavings with
+*sleep sets* (Godefroid).  Two enabled deliveries commute when they
+target **different server** receivers: delivering to server ``b`` only
+mutates ``b``'s local state, consumes the head of one channel, and
+appends to the tails of ``b``'s outgoing channels — all disjoint from
+a delivery to server ``d != b``, and neither writes any step-indexed
+operation field.  Executing them in either order therefore reaches the
+*identical* World (same digest), so after exploring the subtree that
+starts with delivery ``a``, every sibling subtree may skip schedules
+that merely postpone ``a`` past deliveries independent of it.
+Deliveries to *clients* are never treated as independent: a client
+delivery may complete an operation (stamping ``response_step`` with
+the current step count) or fire a follow-up invocation, so its order
+relative to any other action is observable in the history the checker
+sees.  Violation verdicts and the ``exhausted`` flag are identical to
+the full exploration — only the number of explored interleavings
+shrinks — which ``tests/verification/test_por.py`` asserts on the seed
+configurations.
+
+Sleep sets compose with digest deduplication the way Godefroid's
+state-matching variant prescribes: each stored digest remembers the
+sleep set it was explored with; a revisit whose sleep set is a
+superset is pruned outright, and a revisit that *wakes* previously
+slept actions re-explores only the difference (the woken actions),
+storing the intersection.  Everything explored earlier from the same
+digest acts as an already-covered sibling for the new pass.  Two
+invariants make this sound here: sleep sets only ever contain
+currently-enabled server-receiver deliveries (independent path actions
+never consume their channels, so they stay enabled), and the simulator
+is deterministic, so equal digests have identical continuations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.consistency.atomicity import check_atomicity
 from repro.errors import ReproError
 from repro.sim.network import World
+from repro.sim.process import ClientProcess
 from repro.sim.snapshot import world_digest
 
 ChannelKey = Tuple[str, str]
 HistoryChecker = Callable[[list], bool]
+
+_EMPTY_SLEEP: frozenset = frozenset()
 
 
 class ExplorationBudgetExceeded(ReproError):
@@ -72,6 +109,17 @@ class ScheduleExplorer:
     ``stop_at_first_violation`` turns the explorer into a
     counterexample finder: DFS returns as soon as one violating
     terminal execution is recorded.
+
+    ``por`` enables sleep-set partial-order reduction (see the module
+    docstring); it preserves every terminal history's verdict while
+    skipping interleavings that only permute commuting server
+    deliveries.  It is automatically disabled when the World carries a
+    channel adversary (whose per-delivery random fates break
+    commutation).
+
+    ``fork_fn`` overrides how child states are forked — the benchmark
+    harness passes ``World.deepcopy_fork`` to measure the legacy path;
+    everything else should leave the default (``World.fork``).
     """
 
     def __init__(
@@ -82,6 +130,8 @@ class ScheduleExplorer:
         require_completion: bool = True,
         followups: Optional[Sequence[Tuple[int, Callable[[World], None]]]] = None,
         stop_at_first_violation: bool = False,
+        por: bool = False,
+        fork_fn: Optional[Callable[[World], World]] = None,
     ) -> None:
         self.checker = checker or (lambda ops: check_atomicity(ops).ok)
         self.max_states = max_states
@@ -89,6 +139,8 @@ class ScheduleExplorer:
         self.require_completion = require_completion
         self.followups = list(followups or [])
         self.stop_at_first_violation = stop_at_first_violation
+        self.por = por
+        self.fork_fn = fork_fn or World.fork
 
     def _fire_followups(self, state: World, base_ops: int) -> None:
         for i, (trigger, invoke) in enumerate(self.followups):
@@ -106,30 +158,61 @@ class ScheduleExplorer:
         result = ExplorationResult(
             states_visited=0, executions_checked=0, exhausted=True
         )
-        visited: set = set()
+        #: digest -> intersection of the sleep sets it was explored with.
+        visited: Dict[tuple, set] = {}
+        fork = self.fork_fn
 
         # Tracing costs memory per fork and the schedule path already
         # identifies executions; turn it off for the search.
-        world = world.fork()
+        world = fork(world)
         world.record_trace = False
         base_ops = len(world.operations)
+
+        por_active = self.por and world.adversary is None
+        client_pids = frozenset(
+            pid
+            for pid, process in world.processes.items()
+            if isinstance(process, ClientProcess)
+        )
+
+        def independent(a: ChannelKey, b: ChannelKey) -> bool:
+            # Commute iff the receivers are distinct servers (see the
+            # module docstring for the soundness argument).
+            return (
+                a[1] != b[1]
+                and a[1] not in client_pids
+                and b[1] not in client_pids
+            )
 
         class _FoundViolation(Exception):
             pass
 
-        def visit(state: World, path: Tuple[ChannelKey, ...]) -> None:
+        def visit(
+            state: World, path: Tuple[ChannelKey, ...], sleep: frozenset
+        ) -> None:
             self._fire_followups(state, base_ops)
             key = _full_digest(state)
-            if key in visited:
-                return
-            visited.add(key)
+            enabled = state.enabled_channels()
+            stored = visited.get(key)
+            if stored is None:
+                visited[key] = set(sleep)
+                to_explore = [a for a in enabled if a not in sleep]
+                # Actions already covered act as explored siblings.
+                covered = set(sleep)
+            else:
+                if stored <= sleep:
+                    return  # an earlier visit explored a superset
+                woken = stored - sleep
+                stored &= sleep
+                to_explore = [a for a in enabled if a in woken]
+                covered = set(sleep)
+                covered.update(a for a in enabled if a not in woken)
             result.states_visited += 1
             if result.states_visited > self.max_states:
                 raise ExplorationBudgetExceeded()
             if len(path) > self.max_depth:
                 raise ExplorationBudgetExceeded()
 
-            enabled = state.enabled_channels()
             if not enabled:
                 result.executions_checked += 1
                 pending = state.pending_operations()
@@ -142,13 +225,25 @@ class ScheduleExplorer:
                     if self.stop_at_first_violation:
                         raise _FoundViolation()
                 return
-            for key_choice in enabled:
-                child = state.fork()
+            last = len(to_explore) - 1
+            for index, key_choice in enumerate(to_explore):
+                # The parent state is dead after its final branch, so the
+                # last child mutates it in place instead of forking — on
+                # non-branching chains this eliminates forking entirely.
+                child = state if index == last else fork(state)
                 child.deliver(*key_choice)
-                visit(child, path + (key_choice,))
+                if por_active:
+                    child_sleep = frozenset(
+                        a for a in covered if independent(a, key_choice)
+                    )
+                else:
+                    child_sleep = _EMPTY_SLEEP
+                visit(child, path + (key_choice,), child_sleep)
+                if por_active:
+                    covered.add(key_choice)
 
         try:
-            visit(world, ())
+            visit(world, (), _EMPTY_SLEEP)
         except ExplorationBudgetExceeded:
             result.exhausted = False
         except _FoundViolation:
@@ -160,14 +255,15 @@ def explore_all_schedules(
     build_and_invoke: Callable[[], World],
     checker: Optional[HistoryChecker] = None,
     max_states: int = 200_000,
+    por: bool = False,
 ) -> ExplorationResult:
     """Convenience driver: build a World with invocations, explore it.
 
     ``build_and_invoke`` returns a fresh World with every operation
     already invoked (concurrent from the start — the interesting case
-    for consistency).
+    for consistency).  ``por`` forwards to :class:`ScheduleExplorer`.
     """
-    explorer = ScheduleExplorer(checker=checker, max_states=max_states)
+    explorer = ScheduleExplorer(checker=checker, max_states=max_states, por=por)
     return explorer.explore(build_and_invoke())
 
 

@@ -1,0 +1,148 @@
+"""Interval decomposition of the atomicity checker.
+
+The decomposed checker (``decompose=True``, the default) must agree
+with the monolithic Wing & Gong search on every history, return
+witnesses that are genuine linearizations, and stay fast on long,
+mostly-sequential histories where the monolithic search is quadratic
+(or worse) in history length.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.atomicity import _segments, check_atomicity
+from repro.sim.events import OperationRecord
+
+
+def make_history(n_ops, seed, burst=4, flip=False):
+    """Bursts of concurrent ops separated by quiescent points."""
+    rng = random.Random(seed)
+    batches, step, value, op_id = [], 0, 0, 0
+    while op_id < n_ops:
+        width = rng.randint(1, burst)
+        batch = []
+        for i in range(width):
+            if op_id >= n_ops:
+                break
+            kind = rng.choice(["read", "write"])
+            invoke = step
+            step += rng.randint(1, 3)
+            if kind == "write":
+                value = rng.randint(0, 7)
+                batch.append(
+                    OperationRecord(op_id, f"c{i}", "write", value, invoke)
+                )
+            else:
+                batch.append(
+                    OperationRecord(op_id, f"c{i}", "read", value, invoke)
+                )
+            op_id += 1
+        for op in batch:
+            op.response_step = step
+            step += rng.randint(1, 3)
+        step += 1
+        batches.append(batch)
+    flat = [op for batch in batches for op in batch]
+    if flip:  # corrupt one read so the history stops being atomic
+        reads = [op for op in flat if op.kind == "read"]
+        if reads:
+            reads[len(reads) // 2].value = 99
+    return flat
+
+
+def assert_valid_witness(ops, initial_value, witness):
+    """The returned order is a real linearization of the history."""
+    by_id = {op.op_id: op for op in ops}
+    assert len(set(witness)) == len(witness)
+    assert set(witness) <= set(by_id)
+    # Every complete op must be linearized; incomplete writes may be
+    # dropped and incomplete reads never appear.
+    complete = {op.op_id for op in ops if op.is_complete}
+    assert complete <= set(witness)
+    value = initial_value
+    for op_id in witness:
+        op = by_id[op_id]
+        if op.kind == "read":
+            assert op.value == value, f"read {op_id} saw stale value"
+        else:
+            value = op.value
+    for i, earlier_id in enumerate(witness):
+        for later_id in witness[i + 1 :]:
+            assert not by_id[later_id].precedes(by_id[earlier_id])
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_histories_agree_with_monolithic(self, seed):
+        rng = random.Random(seed)
+        history = make_history(
+            rng.randint(2, 24), seed=seed, flip=(seed % 3 == 0)
+        )
+        decomposed = check_atomicity(history)
+        monolithic = check_atomicity(history, decompose=False)
+        assert decomposed.ok == monolithic.ok
+        if decomposed.ok:
+            assert_valid_witness(history, 0, decomposed.linearization)
+            assert_valid_witness(history, 0, monolithic.linearization)
+
+    def test_incomplete_write_cases_agree(self):
+        """Linearize-or-drop for incomplete writes survives decomposition."""
+        # write(1) complete, then an incomplete write(2), then a read.
+        ops = [
+            OperationRecord(0, "w", "write", 1, 0, 1),
+            OperationRecord(1, "w2", "write", 2, 2, None),
+            OperationRecord(2, "r", "read", 1, 3, 4),
+        ]
+        for observed, ok in ((1, True), (2, True), (3, False)):
+            ops[2].value = observed
+            assert check_atomicity(ops).ok is ok
+            assert check_atomicity(ops, decompose=False).ok is ok
+
+    def test_budget_exceeded_reason_preserved(self):
+        history = make_history(40, seed=1)
+        verdict = check_atomicity(history, max_states=3)
+        assert not verdict.ok
+        assert "budget" in verdict.reason
+        assert check_atomicity(history).ok
+
+
+class TestSegmentation:
+    def test_quiescent_points_cut_segments(self):
+        history = make_history(30, seed=2)
+        segments = _segments(history)
+        assert sum(len(s) for s in segments) == len(history)
+        assert len(segments) > 1
+        for earlier, later in zip(segments, segments[1:]):
+            for a in earlier:
+                for b in later:
+                    assert a.precedes(b)
+
+    def test_incomplete_ops_land_in_final_segment(self):
+        ops = [
+            OperationRecord(0, "w", "write", 1, 0, 1),
+            OperationRecord(1, "w2", "write", 2, 2, None),  # never responds
+            OperationRecord(2, "r", "read", 1, 50, 51),
+        ]
+        segments = _segments(ops)
+        # The incomplete write extends to infinity: no cut after it.
+        assert len(segments) == 2
+        assert [op.op_id for op in segments[-1]] == [1, 2]
+
+
+class TestScaling:
+    def test_long_history_checks_in_near_linear_time(self):
+        """4000 mostly-sequential ops: far beyond the monolithic search
+        (which exceeds any reasonable state budget), but the decomposed
+        checker handles it with a per-burst state count."""
+        history = make_history(4000, seed=11)
+        verdict = check_atomicity(history)
+        assert verdict.ok
+        assert_valid_witness(history, 0, verdict.linearization)
+        assert verdict.states_explored < 20 * len(history)
+
+    def test_long_violating_history_detected(self):
+        history = make_history(2000, seed=12, flip=True)
+        verdict = check_atomicity(history)
+        assert not verdict.ok
+        assert verdict.reason == "no legal linearization exists"

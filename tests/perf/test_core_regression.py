@@ -1,0 +1,24 @@
+"""Tier-2 perf-regression guard over the core hot-path speedups.
+
+Reruns the core benchmark and fails if any speedup factor (fork,
+enabled-channel query, exploration, checker) fell more than 30% below
+the committed ``benchmarks/results/BENCH_core.json`` baseline.  Factors
+are same-machine before/after ratios, so the guard is robust to host
+speed while still collapsing if an optimisation silently degrades to
+its legacy path.  Marked ``tier2`` (takes ~20s of wall clock): excluded
+from the tier-1 run, exercised by ``make test`` and ``make perf-guard``.
+"""
+
+import pytest
+
+from benchmarks.bench_core import run_core_bench
+from benchmarks.perf_guard import compare_records, load_baseline
+
+pytestmark = pytest.mark.tier2
+
+
+def test_core_speedup_factors_hold_vs_committed_baseline():
+    baseline = load_baseline()
+    fresh = run_core_bench()
+    failures = compare_records(baseline, fresh)
+    assert not failures, "; ".join(failures)

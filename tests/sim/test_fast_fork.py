@@ -1,0 +1,132 @@
+"""Property test: ``World.fork`` is observationally identical to deepcopy.
+
+For seeded random topologies (algorithm, size, adversary, fault
+schedule) driven to a random mid-execution point, the structural fork
+and the ``copy.deepcopy`` reference fork are *twins*: the same digest
+at the fork point, the same enabled channels, and — fed the identical
+delivery sequence, including adversary fault decisions drawn from the
+cloned RNG stream — the same digest and trace after every step.  The
+parent is never disturbed by either twin.
+"""
+
+import random
+
+import pytest
+
+from repro.faults.adversary import AdversaryConfig, ChannelAdversary, Partition
+from repro.registers.abd import build_abd_system
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.registers.cas import build_cas_system
+from repro.sim.snapshot import world_digest
+
+
+def _random_world(seed: int):
+    """A seeded random system at a random mid-execution point."""
+    rng = random.Random(seed)
+    kind = rng.choice(["abd", "swmr", "cas"])
+    if kind == "abd":
+        handle = build_abd_system(
+            n=rng.choice([3, 5]), f=1, value_bits=4,
+            num_writers=2, num_readers=2,
+        )
+    elif kind == "swmr":
+        handle = build_swmr_abd_system(
+            n=rng.choice([3, 4]), f=1, value_bits=4, num_readers=2
+        )
+    else:
+        handle = build_cas_system(n=5, f=1, value_bits=12)
+    world = handle.world
+
+    if rng.random() < 0.5:
+        world.adversary = ChannelAdversary(
+            AdversaryConfig(
+                duplicate_probability=0.2,
+                reorder_probability=0.3,
+                max_duplicates=8,
+            ),
+            seed=seed,
+        )
+
+    # Random fault schedule + operation mix, then a few random steps.
+    world.invoke_write(handle.writer_ids[0], rng.randrange(8))
+    world.invoke_read(handle.reader_ids[0])
+    servers = [p.pid for p in world.servers()]
+    if rng.random() < 0.4:
+        world.crash(rng.choice(servers))
+    if world.adversary is not None and rng.random() < 0.4:
+        world.adversary.start_partition(
+            Partition.isolate([rng.choice(servers)])
+        )
+    for _ in range(rng.randrange(12)):
+        if not world.enabled_channels():
+            break
+        world.step()
+    return world
+
+
+@pytest.mark.parametrize("seed", range(16))
+def test_fast_fork_twins_deepcopy_fork(seed):
+    world = _random_world(seed)
+    parent_digest = world_digest(world)
+    fast = world.fork()
+    slow = world.deepcopy_fork()
+    assert world_digest(fast) == world_digest(slow) == parent_digest
+
+    rng = random.Random(seed * 977 + 1)
+    for _ in range(40):
+        enabled = fast.enabled_channels()
+        assert enabled == slow.enabled_channels()
+        if not enabled:
+            break
+        key = rng.choice(enabled)
+        action_fast = fast.deliver(*key)
+        action_slow = slow.deliver(*key)
+        assert (action_fast.kind, action_fast.src, action_fast.dst) == (
+            action_slow.kind,
+            action_slow.src,
+            action_slow.dst,
+        )
+        assert world_digest(fast) == world_digest(slow)
+
+    assert [
+        (a.step, a.kind, a.src, a.dst, a.info) for a in fast.trace
+    ] == [(a.step, a.kind, a.src, a.dst, a.info) for a in slow.trace]
+    assert [
+        (op.op_id, op.kind, op.value, op.invoke_step, op.response_step)
+        for op in fast.operations
+    ] == [
+        (op.op_id, op.kind, op.value, op.invoke_step, op.response_step)
+        for op in slow.operations
+    ]
+    # Neither twin disturbed the parent.
+    assert world_digest(world) == parent_digest
+
+
+@pytest.mark.parametrize("seed", [3, 7])
+def test_forked_twins_diverge_independently(seed):
+    """Steps taken in one twin are invisible to the other."""
+    world = _random_world(seed)
+    fast = world.fork()
+    slow = world.deepcopy_fork()
+    enabled = fast.enabled_channels()
+    if not enabled:
+        pytest.skip("random point quiesced")
+    fast.deliver(*enabled[0])
+    assert world_digest(fast) != world_digest(slow) or fast.step_count != slow.step_count
+    assert slow.enabled_channels() == world.enabled_channels()
+
+
+def test_fork_preserves_pending_operation_identity():
+    """Forked pending-op records are the fork's own (satellite: index)."""
+    handle = build_abd_system(n=3, f=1, value_bits=4)
+    world = handle.world
+    world.invoke_write(handle.writer_ids[0], 5)
+    clone = world.fork()
+    pending = clone.pending_operations()
+    assert [op.op_id for op in pending] == [0]
+    assert pending[0] is clone.operations[0]
+    assert pending[0] is not world.operations[0]
+    # Completing in the clone does not complete in the parent.
+    clone.deliver_all()
+    assert clone.pending_operations() == []
+    assert [op.op_id for op in world.pending_operations()] == [0]

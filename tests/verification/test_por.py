@@ -1,0 +1,105 @@
+"""Partial-order reduction preserves every exploration verdict.
+
+The sleep-set reduction (``por=True``) may only skip interleavings that
+permute commuting server deliveries, so against the full exploration it
+must report the identical outcome: same ``ok``, same ``exhausted``,
+same number of distinct maximal executions and incomplete terminals,
+and the same violating histories when a counterexample exists.
+"""
+
+import pytest
+
+from repro.consistency.atomicity import check_atomicity
+from repro.faults.adversary import AdversaryConfig, ChannelAdversary
+from repro.registers.abd_swmr import build_swmr_abd_system
+from repro.verification.explore import ScheduleExplorer
+
+from tests.verification.test_explore import (
+    INVERSION_FOLLOWUPS,
+    inversion_prefix_world,
+    swmr_write_read_world,
+)
+
+
+def _atomic(ops) -> bool:
+    return check_atomicity(ops).ok
+
+
+class TestPorEquivalence:
+    def test_exhaustive_verdict_and_counts_match(self):
+        """Full vs reduced exploration of the write||read space."""
+        full = ScheduleExplorer(checker=_atomic, max_states=50_000).explore(
+            swmr_write_read_world()
+        )
+        reduced = ScheduleExplorer(
+            checker=_atomic, max_states=50_000, por=True
+        ).explore(swmr_write_read_world())
+        assert full.exhausted and reduced.exhausted
+        assert full.ok and reduced.ok
+        assert full.executions_checked == reduced.executions_checked
+        assert full.incomplete_terminals == reduced.incomplete_terminals
+
+    def test_violation_still_found_with_por(self):
+        """The new/old inversion counterexample survives the reduction."""
+        for por in (False, True):
+            explorer = ScheduleExplorer(
+                checker=_atomic,
+                followups=INVERSION_FOLLOWUPS,
+                stop_at_first_violation=True,
+                max_states=200_000,
+                por=por,
+            )
+            result = explorer.explore(inversion_prefix_world())
+            assert result.violations, f"no violation with por={por}"
+            _, ops = result.violations[0]
+            reads = [op for op in ops if op.kind == "read"]
+            assert [r.value for r in reads] == [2, 1]
+
+    def test_incomplete_terminals_counted_identically(self):
+        """Crash-starved executions quiesce with pending operations."""
+
+        def starved_world():
+            handle = build_swmr_abd_system(
+                n=3, f=1, value_bits=2, num_readers=1
+            )
+            world = handle.world
+            world.crash("s001")
+            world.crash("s002")
+            world.invoke_write(handle.writer_ids[0], 1)
+            return world
+
+        full = ScheduleExplorer(checker=_atomic, max_states=10_000).explore(
+            starved_world()
+        )
+        reduced = ScheduleExplorer(
+            checker=_atomic, max_states=10_000, por=True
+        ).explore(starved_world())
+        assert full.exhausted and reduced.exhausted
+        assert full.incomplete_terminals == reduced.incomplete_terminals > 0
+        assert full.executions_checked == reduced.executions_checked
+
+    def test_por_auto_disabled_under_adversary(self):
+        """Random per-delivery fates break commutation; POR must yield."""
+
+        def adversarial_world():
+            handle = build_swmr_abd_system(
+                n=3, f=1, value_bits=2, num_readers=1
+            )
+            world = handle.world
+            world.adversary = ChannelAdversary(
+                AdversaryConfig(duplicate_probability=0.3, max_duplicates=2),
+                seed=9,
+            )
+            world.invoke_write(handle.writer_ids[0], 1)
+            return world
+
+        full = ScheduleExplorer(checker=_atomic, max_states=100_000).explore(
+            adversarial_world()
+        )
+        reduced = ScheduleExplorer(
+            checker=_atomic, max_states=100_000, por=True
+        ).explore(adversarial_world())
+        # With POR auto-disabled the two searches are the same search.
+        assert full.states_visited == reduced.states_visited
+        assert full.executions_checked == reduced.executions_checked
+        assert full.ok == reduced.ok
