@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-tier1 bench bench-core perf-guard examples verify-proofs figure1 chaos sweep metrics-smoke docs-check clean
+.PHONY: install test test-tier1 bench bench-core perf-guard examples verify-proofs figure1 chaos sweep metrics-smoke shrink-smoke docs-check clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -61,6 +61,13 @@ metrics-smoke:
 	$(PYTHON) -m repro metrics --algorithm cas -n 5 -f 1 --ops 10 \
 		--json benchmarks/results/metrics_smoke.json
 	$(PYTHON) -m repro profile --algorithm abd -n 5 -f 1 --ops 6
+
+# Tier-2 triage smoke: rig an ABD safety violation (stale-tags
+# tampering), ddmin-shrink the repro bundle, and assert the minimized
+# workload is a fixed tiny repro.  The regression corpus under
+# tests/corpus/ is replayed by tier-1 (tests/triage/test_corpus.py).
+shrink-smoke:
+	$(PYTHON) -m pytest tests/triage/test_shrink_smoke.py -q
 
 # Docs-drift guard: every CLI verb and every src/repro package must be
 # mentioned in the docs tree, and every module must carry a docstring.

@@ -10,6 +10,8 @@ Commands
 ``assumptions``  audit a write protocol against Theorem 6.5's assumptions
 ``demo``         build a register, run a tiny workload, check consistency
 ``chaos``        adversarial fault-injection campaign over all algorithms
+``replay``       re-execute a repro bundle and assert its recorded verdict
+``shrink``       ddmin-minimize a repro bundle's fault timeline + workload
 ``metrics``      run an instrumented workload; print/export its telemetry
 ``profile``      per-phase step-count + wall-clock breakdown
 ``sweep``        Section 2 parameter sweeps over the standard grids
@@ -164,6 +166,26 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     )
     if result.violations:
         print(f"ATOMICITY VIOLATED in {len(result.violations)} execution(s)")
+        if args.bundle:
+            from repro.triage.bundle import bundle_from_exploration
+            from repro.workload.script import OpDecision
+
+            schedule, _history = result.counterexample()
+            handle = ALGORITHMS[args.algorithm](args.n, args.f, args.value_bits)
+            bundle = bundle_from_exploration(
+                algorithm=args.algorithm,
+                n=args.n,
+                f=args.f,
+                value_bits=args.value_bits,
+                ops=[
+                    OpDecision(0, handle.writer_ids[0], "write", 1),
+                    OpDecision(0, handle.reader_ids[0], "read"),
+                ],
+                schedule=schedule,
+                note="explore write||read counterexample",
+            )
+            bundle.write(args.bundle)
+            print(f"counterexample bundle written to {args.bundle}")
         return 1
     print("atomic in every explored execution")
     return 0
@@ -213,7 +235,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.seeds < 1:
         print("error: --seeds must be >= 1 (a zero-run campaign proves nothing)")
-        return 2
+        return 3  # usage error (2 is reserved for safety violations)
     progress = (lambda line: print(f"  {line}")) if args.verbose else None
     cache = None if args.no_cache else RunCache(args.cache_dir)
     report = run_campaign(
@@ -227,6 +249,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         progress=progress,
         jobs=args.jobs,
         cache=cache,
+        fail_fast=args.fail_fast,
     )
     print(report.format())
     if cache is not None:
@@ -237,7 +260,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.json:
         write_json_report(report, args.json)
         print(f"JSON summary written to {args.json}")
-    return 0 if report.passed else 1
+    failures = report.failures()
+    if failures and args.triage:
+        from repro.triage.corpus import bundle_campaign_failures
+
+        paths = bundle_campaign_failures(
+            report,
+            args.triage_dir,
+            max_ticks=args.max_ticks,
+            shrink=args.triage_shrink,
+            jobs=args.jobs,
+            cache=cache,
+        )
+        for path in paths:
+            print(f"triage bundle written to {path}")
+    if not failures:
+        return 0
+    # Safety violations outrank liveness-only failures in the exit code
+    # so CI can triage without parsing the report.
+    return 2 if any(not r.safety_ok for r in failures) else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.parallel.cache import RunCache
+    from repro.triage.bundle import ReproBundle
+    from repro.triage.replay import execute_bundle
+
+    bundle = ReproBundle.load(args.bundle)
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    outcome = execute_bundle(bundle, cache=cache)
+    print(outcome.format())
+    return 0 if outcome.matches else 1
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    from repro.parallel.cache import RunCache
+    from repro.triage.bundle import ReproBundle
+    from repro.triage.shrink import shrink_bundle, write_shrink_log
+
+    bundle = ReproBundle.load(args.bundle)
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    result = shrink_bundle(bundle, jobs=args.jobs, cache=cache)
+    print(result.format())
+    out = args.out or (
+        args.bundle[: -len(".json")] + ".min.json"
+        if args.bundle.endswith(".json")
+        else args.bundle + ".min.json"
+    )
+    result.minimized.write(out)
+    print(f"minimized bundle written to {out}")
+    if args.log:
+        write_shrink_log(result, args.log)
+        print(f"shrink log written to {args.log}")
+    return 0
 
 
 def _build_client_system(
@@ -246,30 +321,15 @@ def _build_client_system(
     """Build ``name``'s system with the workload's client population.
 
     Module-level (and argparse-free) so the parallel metrics path can
-    rebuild the system inside a worker process.
+    rebuild the system inside a worker process.  Delegates to the
+    shared :mod:`repro.registers.catalog` resolver; ``gc_depth=1`` is
+    this command family's historical CASGC setting.
     """
-    if name == "abd":
-        return build_abd_system(
-            n=n, f=f, value_bits=value_bits,
-            num_writers=writers, num_readers=readers,
-        )
-    if name == "cas":
-        return build_cas_system(
-            n=n, f=f, value_bits=value_bits,
-            num_writers=writers, num_readers=readers,
-        )
-    if name == "casgc":
-        return build_casgc_system(
-            n=n, f=f, value_bits=value_bits, gc_depth=1,
-            num_writers=writers, num_readers=readers,
-        )
-    if name == "swmr-abd":
-        return build_swmr_abd_system(
-            n=n, f=f, value_bits=value_bits, num_readers=readers,
-        )
-    # coded-swmr (single-writer by construction)
-    return build_coded_swmr_system(
-        n=n, f=f, value_bits=value_bits, num_readers=readers,
+    from repro.registers.catalog import build_client_system
+
+    return build_client_system(
+        name, n, f, value_bits,
+        num_writers=writers, num_readers=readers, gc_depth=1,
     )
 
 
@@ -563,6 +623,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_nf(p, n=3, f=1)
     p.add_argument("--value-bits", type=int, default=2)
     p.add_argument("--max-states", type=int, default=100_000)
+    p.add_argument("--bundle", default="",
+                   help="on violation, write the first counterexample as a "
+                   "repro bundle to this path")
     p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
@@ -583,12 +646,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default="",
                    help="also write the campaign summary as JSON to this path")
     p.add_argument("--verbose", action="store_true", help="per-run progress")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="stop at the first unacceptable run (serial; the "
+                   "report then holds the runs up to the failure)")
+    p.add_argument("--triage", action="store_true",
+                   help="write a repro bundle for every failure")
+    p.add_argument("--triage-shrink", action="store_true",
+                   help="with --triage: ddmin-minimize each bundle and write "
+                   "a .shrink.log beside it")
+    p.add_argument("--triage-dir", default="benchmarks/results/triage",
+                   help="directory for auto-emitted failure bundles")
     add_parallel_opts(p)
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the run cache (always re-execute)")
     p.add_argument("--cache-dir", default="benchmarks/.cache",
                    help="content-addressed run cache directory")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-execute a repro bundle and assert its recorded verdict",
+    )
+    p.add_argument("bundle", help="path to a repro.bundle/1 JSON artifact")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the run cache (always re-execute)")
+    p.add_argument("--cache-dir", default="benchmarks/.cache",
+                   help="content-addressed run cache directory")
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "shrink",
+        help="ddmin-minimize a repro bundle, preserving its failure verdict",
+    )
+    p.add_argument("bundle", help="path to a repro.bundle/1 JSON artifact")
+    p.add_argument("--out", default="",
+                   help="minimized bundle path (default: <bundle>.min.json)")
+    p.add_argument("--log", default="",
+                   help="also write the human-readable shrink log here")
+    add_parallel_opts(p)
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the run cache (always re-execute)")
+    p.add_argument("--cache-dir", default="benchmarks/.cache",
+                   help="content-addressed run cache directory")
+    p.set_defaults(func=_cmd_shrink)
 
     def add_workload_opts(p):
         p.add_argument("--ops", type=int, default=10, help="operations to invoke")

@@ -24,6 +24,7 @@ from repro.faults.campaign import (
     CampaignReport,
     ChaosRunResult,
     FaultConfig,
+    FaultTimeline,
     generate_fault_configs,
     run_campaign,
     run_chaos_workload,
@@ -41,6 +42,7 @@ __all__ = [
     "LivenessWatchdog",
     "diagnose_stall",
     "FaultConfig",
+    "FaultTimeline",
     "generate_fault_configs",
     "run_chaos_workload",
     "run_campaign",

@@ -29,6 +29,14 @@ Fault semantics
   groups; channels crossing the cut are *disabled* (messages stay
   queued), exactly like a :class:`~repro.sim.scheduler.ChannelFilter`
   freeze, and become deliverable again on :meth:`heal_partition`.
+* **Tamper** — a *rigged* adversary (``tamper_mode="stale-tags"``)
+  rewrites the ``tag`` field of delivered messages to the initial tag,
+  so writes never install at servers and reads return stale values.
+  This deliberately breaks the safety contract every algorithm here
+  otherwise keeps; it exists so the triage subsystem
+  (:mod:`repro.triage`) has a reproducible, *known* atomicity
+  violation to bundle, shrink, and regression-test against.  No
+  campaign fault shape ever enables it.
 
 The partition gate composes with channel filters: the World applies the
 filter first, then the partition, so proofs can run their freezes on a
@@ -116,6 +124,10 @@ class AdversaryConfig:
     #: Hard caps keeping executions finite under high probabilities.
     max_drops: Optional[int] = None
     max_duplicates: int = 256
+    #: Rigged-adversary mode: "" (honest) or "stale-tags" (rewrite tag
+    #: fields to the initial tag — a deliberate safety violation used
+    #: only by the triage subsystem's known-failure injection).
+    tamper_mode: str = ""
 
     def validate(self) -> None:
         """Reject nonsensical parameters."""
@@ -138,6 +150,11 @@ class AdversaryConfig:
             raise ConfigurationError(
                 f"max_duplicates must be >= 0, got {self.max_duplicates}"
             )
+        if self.tamper_mode not in ("", "stale-tags"):
+            raise ConfigurationError(
+                f"unknown tamper_mode {self.tamper_mode!r} "
+                "(expected '' or 'stale-tags')"
+            )
 
 
 class ChannelAdversary:
@@ -158,6 +175,7 @@ class ChannelAdversary:
         self.reorders = 0
         self.partitions_started = 0
         self.heals = 0
+        self.tampers = 0
 
     def clone(self) -> "ChannelAdversary":
         """Independent copy for World forks.
@@ -227,6 +245,26 @@ class ChannelAdversary:
             return "duplicate"
         return "deliver"
 
+    def transform(self, src: str, dst: str, message: Message) -> Message:
+        """The message actually handed to the receiver (rigged modes only).
+
+        The honest adversary returns the message unchanged.  In
+        ``"stale-tags"`` mode any payload ``tag`` field is rewritten to
+        the initial tag ``(0, "")``, so tag-ordered protocols silently
+        refuse every update — a deterministic, replayable safety
+        violation for triage tests.  Deterministic by construction: no
+        RNG is consumed, so honest replays of the same channel history
+        stay bit-identical.
+        """
+        if self.config.tamper_mode != "stale-tags":
+            return message
+        if message.get("tag") is None:
+            return message
+        self.tampers += 1
+        body = message.as_dict()
+        body["tag"] = (0, "")  # INITIAL_TAG.as_tuple()
+        return Message.make(message.kind, **body)
+
     def stats(self) -> dict:
         """Injection counters, for reports and tests."""
         return {
@@ -235,6 +273,7 @@ class ChannelAdversary:
             "reorders": self.reorders,
             "partitions": self.partitions_started,
             "heals": self.heals,
+            "tampers": self.tampers,
         }
 
     def __repr__(self) -> str:

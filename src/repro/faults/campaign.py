@@ -36,25 +36,21 @@ from repro.faults.watchdog import Diagnosis, LivenessWatchdog
 from repro.parallel.cache import RunCache
 from repro.parallel.fingerprint import code_fingerprint
 from repro.parallel.pool import run_tasks
-from repro.registers.abd import build_abd_system
 from repro.registers.base import SystemHandle
-from repro.registers.cas import build_cas_system
-from repro.registers.casgc import build_casgc_system
+from repro.registers.catalog import build_client_system
 from repro.util.rng import SeededRNG
 from repro.util.tables import format_table
+from repro.workload.script import OpDecision, WorkloadScript
 
 #: Algorithms a campaign exercises; all are MWMR-atomic so one safety
-#: checker (linearizability) covers them.
+#: checker (linearizability) covers them.  Builders delegate to the
+#: shared :mod:`repro.registers.catalog` resolver so the campaign, the
+#: CLI, and the triage replayer construct byte-identical systems.
 CAMPAIGN_ALGORITHMS: Dict[str, Callable[..., SystemHandle]] = {
-    "abd": lambda n, f, vb: build_abd_system(
-        n=n, f=f, value_bits=vb, num_writers=2, num_readers=2
-    ),
-    "cas": lambda n, f, vb: build_cas_system(
-        n=n, f=f, value_bits=vb, num_writers=2, num_readers=2
-    ),
-    "casgc": lambda n, f, vb: build_casgc_system(
-        n=n, f=f, value_bits=vb, num_writers=2, num_readers=2, gc_depth=2
-    ),
+    name: (
+        lambda n, f, vb, _name=name: build_client_system(_name, n, f, vb)
+    )
+    for name in ("abd", "cas", "casgc")
 }
 
 
@@ -84,9 +80,21 @@ class FaultConfig:
     crash_recovery: bool = False  # stagger crash/recover over the targets
     crash_over_budget: bool = False  # deliberately crash f+1 servers
     expect_liveness: bool = True
+    #: Rigged-adversary mode (see AdversaryConfig.tamper_mode).  Never
+    #: set by any campaign shape; used by triage tests to inject a
+    #: known, replayable safety violation.
+    tamper_mode: str = ""
 
     def label(self) -> str:
         return f"{self.name}#{self.seed}"
+
+    def to_cache_dict(self) -> dict:
+        """Plain-JSON form: cache keys, ``--json`` reports, bundles."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_cache_dict(cls, data: dict) -> "FaultConfig":
+        return cls(**data)
 
 
 #: The campaign's fault-shape grid: (name, overrides).  Ten shapes, so
@@ -169,6 +177,7 @@ def _adversary_for(config: FaultConfig, handle: SystemHandle) -> ChannelAdversar
             reorder_probability=config.reorder_probability,
             reorder_window=config.reorder_window,
             lossy_processes=frozenset(_fault_targets(config, handle)),
+            tamper_mode=config.tamper_mode,
         ),
         seed=config.seed,
     )
@@ -198,6 +207,116 @@ def _schedule_for(config: FaultConfig, handle: SystemHandle) -> CrashRecoverySch
     return schedule
 
 
+@dataclass(frozen=True)
+class FaultTimeline:
+    """The explicit fault schedule a chaos run executes.
+
+    :func:`run_chaos_workload` normally *derives* this from the
+    :class:`FaultConfig` (staggered crash/recover rounds over the fault
+    targets, one partition cut); materializing it as plain data makes
+    the timeline **editable** — the fault half of the triage shrinker
+    (:mod:`repro.triage.shrink`) removes crash events and the partition
+    one at a time while checking the failure persists.  JSON
+    round-trippable for ``repro.bundle/1`` artifacts.
+    """
+
+    #: ``(pid, crash_tick, recover_tick-or-None)`` triples.
+    crash_events: Tuple[Tuple[str, int, Optional[int]], ...] = ()
+    partition_at: Optional[int] = None
+    heal_at: Optional[int] = None
+    #: The isolated side of the cut; empty = no partition.
+    partition_pids: Tuple[str, ...] = ()
+
+    @classmethod
+    def derived_from(
+        cls, config: FaultConfig, handle: SystemHandle
+    ) -> "FaultTimeline":
+        """Materialize the schedule ``run_chaos_workload`` would derive."""
+        schedule = _schedule_for(config, handle)
+        pids: Tuple[str, ...] = ()
+        if config.partition_at is not None:
+            pids = tuple(sorted(_partition_for(config, handle).groups[0]))
+        return cls(
+            crash_events=schedule.events,
+            partition_at=config.partition_at,
+            heal_at=config.heal_at if config.partition_at is not None else None,
+            partition_pids=pids,
+        )
+
+    def schedule(self) -> CrashRecoverySchedule:
+        """The crash half as an executable schedule.
+
+        Deliberately *not* validated against the fault budget: derived
+        timelines were validated at derivation (except the intentional
+        over-budget shape), and shrunk timelines are arbitrary subsets.
+        """
+        return CrashRecoverySchedule(self.crash_events)
+
+    def partition(self) -> Optional[Partition]:
+        if self.partition_at is None or not self.partition_pids:
+            return None
+        return Partition.isolate(self.partition_pids)
+
+    @property
+    def event_count(self) -> int:
+        """Shrink metric: crash/recover pairs + partition + heal."""
+        count = len(self.crash_events)
+        if self.partition_at is not None:
+            count += 1
+        if self.heal_at is not None:
+            count += 1
+        return count
+
+    def without_crash_events(self, indices: Tuple[int, ...]) -> "FaultTimeline":
+        drop = set(indices)
+        return dataclasses.replace(
+            self,
+            crash_events=tuple(
+                e for i, e in enumerate(self.crash_events) if i not in drop
+            ),
+        )
+
+    def without_partition(self) -> "FaultTimeline":
+        return dataclasses.replace(
+            self, partition_at=None, heal_at=None, partition_pids=()
+        )
+
+    def without_heal(self) -> "FaultTimeline":
+        return dataclasses.replace(self, heal_at=None)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "crash_events": [list(e) for e in self.crash_events],
+            "partition_at": self.partition_at,
+            "heal_at": self.heal_at,
+            "partition_pids": list(self.partition_pids),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FaultTimeline":
+        return cls(
+            crash_events=tuple(
+                (e[0], e[1], e[2]) for e in data.get("crash_events", ())
+            ),
+            partition_at=data.get("partition_at"),
+            heal_at=data.get("heal_at"),
+            partition_pids=tuple(data.get("partition_pids", ())),
+        )
+
+    def describe(self) -> List[str]:
+        """One line per timeline event, for shrink logs."""
+        lines = []
+        for pid, crash, recover in self.crash_events:
+            back = f", recover @{recover}" if recover is not None else ""
+            lines.append(f"crash {pid} @{crash}{back}")
+        if self.partition_at is not None:
+            cut = ",".join(self.partition_pids)
+            lines.append(f"partition [{cut}] @{self.partition_at}")
+        if self.heal_at is not None:
+            lines.append(f"heal @{self.heal_at}")
+        return lines
+
+
 @dataclass
 class ChaosRunResult:
     """Outcome of one (algorithm, fault config) chaos run."""
@@ -214,6 +333,10 @@ class ChaosRunResult:
     fault_stats: dict = field(default_factory=dict)
     crashes: int = 0
     recoveries: int = 0
+    #: The exact invocation decisions this run made (replayable script).
+    workload: Tuple[OpDecision, ...] = ()
+    #: The explicit fault schedule this run executed (shrinkable).
+    timeline: Optional[FaultTimeline] = None
 
     @property
     def acceptable(self) -> bool:
@@ -241,7 +364,7 @@ class ChaosRunResult:
         """
         return {
             "algorithm": self.algorithm,
-            "config": dataclasses.asdict(self.config),
+            "config": self.config.to_cache_dict(),
             "invoked": self.invoked,
             "completed": self.completed,
             "live": self.live,
@@ -266,15 +389,20 @@ class ChaosRunResult:
             "fault_stats": dict(self.fault_stats),
             "crashes": self.crashes,
             "recoveries": self.recoveries,
+            "workload": [op.to_json_dict() for op in self.workload],
+            "timeline": (
+                None if self.timeline is None else self.timeline.to_json_dict()
+            ),
         }
 
     @classmethod
     def from_cache_dict(cls, data: dict) -> "ChaosRunResult":
         """Rebuild a result from :meth:`to_cache_dict` output."""
         diag = data["diagnosis"]
+        timeline = data.get("timeline")
         return cls(
             algorithm=data["algorithm"],
-            config=FaultConfig(**data["config"]),
+            config=FaultConfig.from_cache_dict(data["config"]),
             invoked=data["invoked"],
             completed=data["completed"],
             live=data["live"],
@@ -299,6 +427,12 @@ class ChaosRunResult:
             fault_stats=dict(data["fault_stats"]),
             crashes=data["crashes"],
             recoveries=data["recoveries"],
+            workload=tuple(
+                OpDecision.from_json_dict(d) for d in data.get("workload", ())
+            ),
+            timeline=(
+                None if timeline is None else FaultTimeline.from_json_dict(timeline)
+            ),
         )
 
 
@@ -307,6 +441,8 @@ def run_chaos_workload(
     config: FaultConfig,
     num_ops: int = 10,
     max_ticks: int = 60_000,
+    script: Optional[WorkloadScript] = None,
+    timeline: Optional[FaultTimeline] = None,
 ) -> ChaosRunResult:
     """Drive a seeded random workload under ``config``'s fault mix.
 
@@ -314,11 +450,29 @@ def run_chaos_workload(
     recover, partition and heal events fire by tick even while the
     World momentarily cannot step.  A stall is only declared hopeless —
     and diagnosed — once no future timeline event could unblock it.
+
+    Every run records its invocation decisions into the result's
+    ``workload`` and its fault schedule into ``timeline``, making the
+    run replayable *as data*.  Passing ``script``/``timeline`` back in
+    overrides the seeded derivation: the driver performs exactly one
+    action per tick (invoke or step), so replaying the recorded
+    decisions consumes the adversary RNG stream identically and the
+    execution is bit-for-bit the original.  *Edited* scripts and
+    timelines (the shrinker's candidates) stay fully deterministic —
+    the run is a pure function of (system, config, script, timeline).
     """
     world = handle.world
     adversary = _adversary_for(config, handle)
     world.adversary = adversary
-    schedule = _schedule_for(config, handle)
+    if timeline is None:
+        timeline = FaultTimeline.derived_from(config, handle)
+    schedule = timeline.schedule()
+    partition = timeline.partition()
+    # An edited timeline may name a cut tick with no pids (or vice
+    # versa); treat it as "no partition" so the stall checks below
+    # never wait on an event that cannot fire.
+    partition_at = timeline.partition_at if partition is not None else None
+    heal_at = timeline.heal_at if partition is not None else None
     applied: set = set()
     rng = SeededRNG(config.seed, f"chaos-driver:{config.name}")
     watchdog = LivenessWatchdog(
@@ -327,8 +481,10 @@ def run_chaos_workload(
     clients = list(handle.writer_ids) + list(handle.reader_ids)
     steps_before = world.step_count
     invoked = 0
+    next_op = 0  # script cursor (scripted mode only)
     partition_started = healed = False
     diagnosis: Optional[Diagnosis] = None
+    decisions: List[OpDecision] = []
 
     def idle_clients() -> List[str]:
         return [
@@ -337,6 +493,15 @@ def run_chaos_workload(
             if world.process(pid).pending_op_id is None  # type: ignore[attr-defined]
             and not world.process(pid).failed
         ]
+
+    def can_invoke(pid: str) -> bool:
+        proc = world.process(pid)
+        return proc.pending_op_id is None and not proc.failed  # type: ignore[attr-defined]
+
+    def more_invocations_ahead() -> bool:
+        if script is not None:
+            return next_op < len(script.ops)
+        return invoked < num_ops and bool(idle_clients())
 
     while True:
         try:
@@ -347,46 +512,68 @@ def run_chaos_workload(
         tick = watchdog.ticks
         schedule.apply(world, tick, applied)
         if (
-            config.partition_at is not None
+            partition is not None
+            and partition_at is not None
             and not partition_started
-            and tick >= config.partition_at
+            and tick >= partition_at
         ):
-            adversary.start_partition(_partition_for(config, handle))
+            adversary.start_partition(partition)
             partition_started = True
-        if config.heal_at is not None and not healed and tick >= config.heal_at:
+        if heal_at is not None and not healed and tick >= heal_at:
             adversary.heal_partition()
             healed = True
-        if invoked < num_ops and rng.random() < 0.4:
+        if script is not None:
+            # Scripted mode: fire each decision at its recorded tick.
+            # Under an edited script the world may have diverged and the
+            # client can be busy/failed; the op is then skipped (still
+            # deterministically) rather than crashing the candidate run.
+            if next_op < len(script.ops) and script.ops[next_op].tick <= tick:
+                op = script.ops[next_op]
+                next_op += 1
+                if can_invoke(op.pid):
+                    if op.kind == "write":
+                        world.invoke_write(op.pid, op.value)
+                    else:
+                        world.invoke_read(op.pid)
+                    decisions.append(
+                        OpDecision(tick, op.pid, op.kind, op.value)
+                    )
+                    invoked += 1
+                    continue
+        elif invoked < num_ops and rng.random() < 0.4:
             pool = idle_clients()
             if pool:
                 pid = rng.choice(pool)
                 if pid in handle.writer_ids:
-                    world.invoke_write(
-                        pid, rng.randint(0, handle.value_space_size - 1)
-                    )
+                    value = rng.randint(0, handle.value_space_size - 1)
+                    world.invoke_write(pid, value)
+                    decisions.append(OpDecision(tick, pid, "write", value))
                 else:
                     world.invoke_read(pid)
+                    decisions.append(OpDecision(tick, pid, "read"))
                 invoked += 1
                 continue
         if world.step() is not None:
             continue
         # Nothing delivered this tick.
-        if invoked >= num_ops and not world.pending_operations():
+        if not more_invocations_ahead() and not world.pending_operations():
             break  # all done
-        if config.partition_at is not None and not partition_started:
+        if partition_at is not None and not partition_started:
             continue  # partition (and its heal) still ahead
-        if config.heal_at is not None and not healed:
+        if heal_at is not None and not healed:
             continue  # a heal will re-enable the blocked channels
         if not schedule.done(applied):
             continue  # a scheduled crash/recovery is still ahead
-        if invoked < num_ops and idle_clients():
+        if more_invocations_ahead():
             continue  # more invocations coming
         diagnosis = watchdog.diagnose()
         break
 
     history = History.from_world(world)
     completed = len(history.completed())
-    live = invoked == num_ops and completed == len(history)
+    target_ops = len(script.ops) if script is not None else num_ops
+    attempted = next_op if script is not None else invoked
+    live = attempted == target_ops and completed == len(history)
     verdict = check_atomicity(history)
     crashes = sum(1 for a in world.trace if a.kind == "crash")
     recoveries = sum(1 for a in world.trace if a.kind == "recover")
@@ -403,6 +590,8 @@ def run_chaos_workload(
         fault_stats=adversary.stats(),
         crashes=crashes,
         recoveries=recoveries,
+        workload=tuple(decisions),
+        timeline=timeline,
     )
 
 
@@ -517,10 +706,28 @@ class CampaignReport:
                 "failures": len(self.failures()),
                 "configs_per_algorithm": self.configs_per_algorithm(),
             },
+            # Triage-ready failure entries: everything needed to rebuild
+            # the failing run (seed + full fault config) plus the human
+            # summary, without digging through the runs array.
+            "failures": [
+                {
+                    "algorithm": r.algorithm,
+                    "config": r.config.label(),
+                    "seed": r.config.seed,
+                    "fault_config": r.config.to_cache_dict(),
+                    "verdict": r.verdict(),
+                    "safety_ok": r.safety_ok,
+                    "safety_reason": r.safety_reason,
+                    "diagnosis_summary": (
+                        r.diagnosis.summary() if r.diagnosis else None
+                    ),
+                }
+                for r in self.failures()
+            ],
             "runs": [
                 {
                     "algorithm": r.algorithm,
-                    "config": dataclasses.asdict(r.config),
+                    "config": r.config.to_cache_dict(),
                     "invoked": r.invoked,
                     "completed": r.completed,
                     "live": r.live,
@@ -535,8 +742,13 @@ class CampaignReport:
                             "detail": r.diagnosis.detail,
                             "step": r.diagnosis.step,
                             "pending_ops": list(r.diagnosis.pending_ops),
+                            "blocked_channels": [
+                                list(key)
+                                for key in r.diagnosis.blocked_channels
+                            ],
                             "undelivered": r.diagnosis.undelivered,
                             "live_servers": list(r.diagnosis.live_servers),
+                            "summary": r.diagnosis.summary(),
                         }
                     ),
                     "fault_stats": dict(r.fault_stats),
@@ -606,6 +818,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
+    fail_fast: bool = False,
 ) -> CampaignReport:
     """Run every algorithm under every generated fault config.
 
@@ -614,6 +827,12 @@ def run_campaign(
     report is byte-identical at any job count.  ``cache`` skips runs
     whose key (parameters + seed + code fingerprint) is already stored;
     a fully warm cache executes zero simulator runs.
+
+    ``fail_fast`` stops at the first unacceptable run; the report then
+    holds exactly the runs up to and including the failure.  The pool
+    cannot cancel in-flight work, so fail-fast forces the serial path
+    (``jobs`` is ignored) — the *set* of runs it reports is still
+    deterministic because runs execute in task order.
     """
     report = CampaignReport(n=n, f=f, value_bits=value_bits, num_ops=num_ops)
     configs = generate_fault_configs(f, list(seeds))
@@ -624,6 +843,27 @@ def run_campaign(
         for algorithm in algorithms
         for config in configs
     ]
+
+    if fail_fast:
+        for payload in tasks:
+            data = cache.get(campaign_task_key(payload)) if cache else None
+            cached = data is not None
+            if data is None:
+                data = _campaign_task(payload)
+                if cache is not None:
+                    cache.put(campaign_task_key(payload), data)
+            result = ChaosRunResult.from_cache_dict(data)
+            if progress is not None:
+                progress(
+                    f"{result.algorithm}/{result.config.label()}: "
+                    f"{result.verdict()}"
+                    f"{'' if result.safety_ok else ' SAFETY VIOLATED'}"
+                    f"{' (cached)' if cached else ''}"
+                )
+            report.results.append(result)
+            if not result.acceptable:
+                break
+        return report
 
     slots: List[Optional[dict]] = [None] * len(tasks)
     cached_indices: set = set()

@@ -267,6 +267,13 @@ class World:
                 channel.enqueue(message)
                 if self.obs:
                     self.obs.registry.inc("faults.duplicates")
+            # Rigged adversaries may hand the receiver a tampered copy
+            # (the honest transform is the identity).
+            tampered = adversary.transform(src, dst, message)
+            if tampered is not message:
+                if self.obs:
+                    self.obs.registry.inc("faults.tampers")
+                message = tampered
         record = self._record("deliver", src, dst, message.kind)
         receiver.on_message(ProcessContext(self, dst), src, message)
         return record

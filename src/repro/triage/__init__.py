@@ -1,0 +1,58 @@
+"""Counterexample triage: repro bundles, shrinking, regression corpus.
+
+When a chaos campaign or a schedule exploration finds a failure, the
+interesting questions are "can I see it again?" and "what part of the
+fault schedule actually matters?".  This package answers both:
+
+* :mod:`repro.triage.bundle` — ``repro.bundle/1`` artifacts freezing a
+  failing run (system, fault config, exact workload decisions, fault
+  timeline, expected verdict, emitting code fingerprint) as plain JSON;
+* :mod:`repro.triage.replay` — deterministic re-execution of a bundle
+  (``repro replay``), with cache/pool integration and fingerprint-drift
+  warnings;
+* :mod:`repro.triage.shrink` — parallel ddmin over the fault timeline,
+  workload, and fault budgets (``repro shrink``), preserving the exact
+  failure signature;
+* :mod:`repro.triage.corpus` — the replayable regression corpus under
+  ``tests/corpus/`` plus campaign auto-bundling (``repro chaos
+  --triage``).
+"""
+
+from repro.triage.bundle import (
+    BUNDLE_SCHEMA,
+    ExpectedVerdict,
+    ReproBundle,
+    bundle_from_exploration,
+    bundle_from_result,
+    result_signature,
+)
+from repro.triage.corpus import (
+    CORPUS_DIR,
+    CorpusReplay,
+    add_to_corpus,
+    bundle_campaign_failures,
+    load_corpus,
+    replay_corpus,
+)
+from repro.triage.replay import ReplayOutcome, execute_bundle
+from repro.triage.shrink import ShrinkResult, shrink_bundle, write_shrink_log
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "ExpectedVerdict",
+    "ReproBundle",
+    "bundle_from_exploration",
+    "bundle_from_result",
+    "result_signature",
+    "ReplayOutcome",
+    "execute_bundle",
+    "ShrinkResult",
+    "shrink_bundle",
+    "write_shrink_log",
+    "CORPUS_DIR",
+    "CorpusReplay",
+    "add_to_corpus",
+    "bundle_campaign_failures",
+    "load_corpus",
+    "replay_corpus",
+]

@@ -1,0 +1,301 @@
+"""Repro bundles: versioned, self-contained failure artifacts.
+
+A ``repro.bundle/1`` document captures everything needed to re-execute
+one failing run bit-for-bit: the algorithm and system parameters, the
+:class:`~repro.faults.campaign.FaultConfig` (whose seed derives every
+RNG stream by label), the exact invocation decisions the driver made
+(:class:`~repro.workload.script.WorkloadScript`), the explicit fault
+timeline (:class:`~repro.faults.campaign.FaultTimeline`), and the
+verdict the failure produced.  The code fingerprint of the emitting
+tree rides along so a replay under drifted code can warn instead of
+silently diverging.
+
+Two bundle kinds exist:
+
+* ``"chaos"`` — a failed chaos run; replayed through
+  :func:`repro.faults.campaign.run_chaos_workload` with the script and
+  timeline overriding the seeded derivation.  Fully shrinkable.
+* ``"explore"`` — an exploration counterexample: upfront invocations
+  plus the violating delivery schedule, replayed delivery-by-delivery.
+  Replayable but not shrinkable (the delivery path *is* already the
+  counterexample's essence; removing a delivery invalidates the rest).
+
+Bundles are plain JSON with sorted keys, so they diff cleanly in the
+regression corpus under ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import ChaosRunResult, FaultConfig, FaultTimeline
+from repro.parallel.fingerprint import code_fingerprint
+from repro.workload.script import OpDecision, WorkloadScript
+
+#: Schema tag every bundle document carries.
+BUNDLE_SCHEMA = "repro.bundle/1"
+
+#: Client population the chaos campaign builds (the bundle default).
+CAMPAIGN_BUILDER_PARAMS = {"num_writers": 2, "num_readers": 2, "gc_depth": 2}
+
+
+@dataclass(frozen=True)
+class ExpectedVerdict:
+    """The failure a bundle asserts its replay must reproduce."""
+
+    safety_ok: bool
+    verdict: str  # ChaosRunResult.verdict() / "atomicity-violated"
+    safety_reason: str = ""
+
+    def signature(self) -> Tuple[str, ...]:
+        """The equivalence class shrinking must preserve.
+
+        Safety violations collapse to ``("unsafe",)`` — any atomicity
+        break is the same bug class regardless of which read exposed
+        it.  Liveness failures keep the diagnosis verdict, so a shrink
+        can never trade a partition stall for a crash stall.
+        """
+        if not self.safety_ok:
+            return ("unsafe",)
+        return ("stall", self.verdict)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "safety_ok": self.safety_ok,
+            "verdict": self.verdict,
+            "safety_reason": self.safety_reason,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ExpectedVerdict":
+        return cls(
+            safety_ok=data["safety_ok"],
+            verdict=data["verdict"],
+            safety_reason=data.get("safety_reason", ""),
+        )
+
+
+def result_signature(result: ChaosRunResult) -> Tuple[str, ...]:
+    """The signature a finished chaos run exhibits (see ExpectedVerdict)."""
+    if not result.safety_ok:
+        return ("unsafe",)
+    return ("stall", result.verdict())
+
+
+@dataclass(frozen=True)
+class ReproBundle:
+    """One failing run as replayable data (``repro.bundle/1``)."""
+
+    kind: str  # "chaos" | "explore"
+    algorithm: str
+    n: int
+    f: int
+    value_bits: int
+    expected: ExpectedVerdict
+    builder_params: dict = field(default_factory=dict)
+    fault_config: Optional[FaultConfig] = None  # chaos only
+    workload: WorkloadScript = WorkloadScript()
+    timeline: Optional[FaultTimeline] = None  # chaos only
+    #: Explore only: the violating delivery schedule (src, dst) pairs.
+    schedule: Tuple[Tuple[str, str], ...] = ()
+    max_ticks: int = 60_000
+    #: Code fingerprint of the tree that emitted the bundle.
+    fingerprint: str = ""
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("chaos", "explore"):
+            raise ConfigurationError(
+                f"bundle kind must be 'chaos' or 'explore', got {self.kind!r}"
+            )
+        if self.kind == "chaos" and self.fault_config is None:
+            raise ConfigurationError("chaos bundles need a fault_config")
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": BUNDLE_SCHEMA,
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "params": {"n": self.n, "f": self.f, "value_bits": self.value_bits},
+            "builder_params": dict(self.builder_params),
+            "fault_config": (
+                None
+                if self.fault_config is None
+                else self.fault_config.to_cache_dict()
+            ),
+            "workload": self.workload.to_json_list(),
+            "timeline": (
+                None if self.timeline is None else self.timeline.to_json_dict()
+            ),
+            "schedule": [list(pair) for pair in self.schedule],
+            "max_ticks": self.max_ticks,
+            "fingerprint": self.fingerprint,
+            "expected": self.expected.to_json_dict(),
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ReproBundle":
+        if data.get("schema") != BUNDLE_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported bundle schema {data.get('schema')!r} "
+                f"(expected {BUNDLE_SCHEMA!r})"
+            )
+        params = data["params"]
+        fc = data.get("fault_config")
+        tl = data.get("timeline")
+        return cls(
+            kind=data["kind"],
+            algorithm=data["algorithm"],
+            n=params["n"],
+            f=params["f"],
+            value_bits=params["value_bits"],
+            builder_params=dict(data.get("builder_params", {})),
+            fault_config=None if fc is None else FaultConfig.from_cache_dict(fc),
+            workload=WorkloadScript.from_json_list(data.get("workload", ())),
+            timeline=None if tl is None else FaultTimeline.from_json_dict(tl),
+            schedule=tuple(
+                (pair[0], pair[1]) for pair in data.get("schedule", ())
+            ),
+            max_ticks=data.get("max_ticks", 60_000),
+            fingerprint=data.get("fingerprint", ""),
+            expected=ExpectedVerdict.from_json_dict(data["expected"]),
+            note=data.get("note", ""),
+        )
+
+    def write(self, path: str) -> None:
+        """Persist as deterministic JSON (sorted keys, trailing newline)."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json_dict(), fh, sort_keys=True, indent=2)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ReproBundle":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json_dict(json.load(fh))
+
+    # -- editing (the shrinker's candidate constructors) ---------------------
+
+    def with_workload(self, workload: WorkloadScript) -> "ReproBundle":
+        return replace(self, workload=workload)
+
+    def with_timeline(self, timeline: FaultTimeline) -> "ReproBundle":
+        return replace(self, timeline=timeline)
+
+    def with_fault_config(self, fault_config: FaultConfig) -> "ReproBundle":
+        return replace(self, fault_config=fault_config)
+
+    def with_note(self, note: str) -> "ReproBundle":
+        return replace(self, note=note)
+
+    def event_count(self) -> int:
+        """Fault-timeline size (the shrink metric)."""
+        return 0 if self.timeline is None else self.timeline.event_count
+
+    def describe(self) -> List[str]:
+        """Human-readable one-liner-per-fact view for logs."""
+        lines = [
+            f"{self.kind} bundle: {self.algorithm} "
+            f"N={self.n} f={self.f} |V|=2^{self.value_bits}",
+            f"expected: {'/'.join(self.expected.signature())} "
+            f"({self.expected.verdict})",
+        ]
+        if self.fault_config is not None:
+            lines.append(f"fault config: {self.fault_config.label()}")
+        if self.timeline is not None:
+            lines.extend(self.timeline.describe())
+        lines.append(f"workload: {len(self.workload)} ops")
+        if self.schedule:
+            lines.append(f"schedule: {len(self.schedule)} deliveries")
+        return lines
+
+
+def bundle_from_result(
+    result: ChaosRunResult,
+    n: int,
+    f: int,
+    value_bits: int,
+    max_ticks: int = 60_000,
+    note: str = "",
+) -> ReproBundle:
+    """Freeze a failed chaos run into a replayable bundle.
+
+    The run must carry its recorded ``workload`` and ``timeline``
+    (every :func:`run_chaos_workload` result does); results restored
+    from pre-triage cache entries do not, and are rejected.
+    """
+    if result.timeline is None:
+        raise ConfigurationError(
+            "result carries no fault timeline (cached under an old schema?); "
+            "re-run the campaign to bundle it"
+        )
+    return ReproBundle(
+        kind="chaos",
+        algorithm=result.algorithm,
+        n=n,
+        f=f,
+        value_bits=value_bits,
+        builder_params=dict(CAMPAIGN_BUILDER_PARAMS),
+        fault_config=result.config,
+        workload=WorkloadScript.record(result.workload),
+        timeline=result.timeline,
+        max_ticks=max_ticks,
+        fingerprint=code_fingerprint(),
+        expected=ExpectedVerdict(
+            safety_ok=result.safety_ok,
+            verdict=result.verdict(),
+            safety_reason=result.safety_reason,
+        ),
+        note=note,
+    )
+
+
+def bundle_from_exploration(
+    algorithm: str,
+    n: int,
+    f: int,
+    value_bits: int,
+    ops: List[OpDecision],
+    schedule: Tuple[Tuple[str, str], ...],
+    builder_params: Optional[dict] = None,
+    note: str = "",
+) -> ReproBundle:
+    """Freeze an exploration counterexample into a replayable bundle.
+
+    ``ops`` are the invocations with ``tick`` meaning "fire after this
+    many deliveries" (0 = upfront; exploration has no driver clock, so
+    the delivery count is the natural position index — it lets a bundle
+    express follow-up reads fired mid-schedule, as in the new/old
+    inversion).  ``schedule`` is the violating delivery path from
+    :meth:`~repro.verification.explore.ExplorationResult.counterexample`,
+    prefixed with any deliveries that set up the exploration's start
+    state.
+    """
+    return ReproBundle(
+        kind="explore",
+        algorithm=algorithm,
+        n=n,
+        f=f,
+        value_bits=value_bits,
+        builder_params=dict(
+            builder_params
+            if builder_params is not None
+            else {"num_writers": 1, "num_readers": 1, "gc_depth": 1}
+        ),
+        workload=WorkloadScript.record(ops),
+        schedule=tuple(schedule),
+        fingerprint=code_fingerprint(),
+        expected=ExpectedVerdict(
+            safety_ok=False, verdict="atomicity-violated"
+        ),
+        note=note,
+    )

@@ -1,0 +1,123 @@
+"""The replayable regression corpus.
+
+Minimized repro bundles live under ``tests/corpus/`` as plain JSON; a
+tier-1 test (``tests/triage/test_corpus.py``) replays every one and
+asserts the recorded failure still reproduces — each past
+counterexample becomes a permanent regression check, at minimized (and
+therefore cheap) size.
+
+:func:`bundle_campaign_failures` is the campaign-side half: given a
+finished :class:`~repro.faults.campaign.CampaignReport`, it freezes
+every unacceptable run into a bundle under a triage directory
+(``benchmarks/results/triage/`` by default, via ``repro chaos
+--triage``), optionally shrinking each first.  Promoting an artifact
+from the triage directory into ``tests/corpus/`` is a deliberate,
+reviewed act — the corpus is versioned test input, not a dumping
+ground.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.faults.campaign import CampaignReport
+from repro.parallel.cache import RunCache
+from repro.triage.bundle import ReproBundle, bundle_from_result
+from repro.triage.replay import ReplayOutcome, execute_bundle
+from repro.triage.shrink import shrink_bundle, write_shrink_log
+
+#: Repo-relative home of the regression corpus (tier-1 replayed).
+CORPUS_DIR = os.path.join("tests", "corpus")
+
+
+def corpus_paths(directory: str = CORPUS_DIR) -> List[str]:
+    """Every bundle file in ``directory``, sorted for determinism."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+
+
+def load_corpus(directory: str = CORPUS_DIR) -> List[Tuple[str, ReproBundle]]:
+    """All corpus bundles as ``(path, bundle)`` pairs, path-sorted."""
+    return [(path, ReproBundle.load(path)) for path in corpus_paths(directory)]
+
+
+@dataclass
+class CorpusReplay:
+    """One corpus entry's replay verdict."""
+
+    path: str
+    outcome: ReplayOutcome
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome.matches
+
+
+def replay_corpus(
+    directory: str = CORPUS_DIR, cache: Optional[RunCache] = None
+) -> List[CorpusReplay]:
+    """Replay every corpus bundle; entries keep path order."""
+    return [
+        CorpusReplay(path=path, outcome=execute_bundle(bundle, cache=cache))
+        for path, bundle in load_corpus(directory)
+    ]
+
+
+def bundle_name(bundle: ReproBundle) -> str:
+    """Canonical corpus file name: algorithm, shape, seed, signature."""
+    signature = "-".join(bundle.expected.signature())
+    config = bundle.fault_config
+    shape = f"{config.name}-s{config.seed}" if config else "explore"
+    return f"{bundle.algorithm}-{shape}-{signature}.json"
+
+
+def add_to_corpus(
+    bundle: ReproBundle, directory: str = CORPUS_DIR
+) -> str:
+    """Write ``bundle`` into the corpus; returns the path written."""
+    path = os.path.join(directory, bundle_name(bundle))
+    bundle.write(path)
+    return path
+
+
+def bundle_campaign_failures(
+    report: CampaignReport,
+    directory: str,
+    max_ticks: int = 60_000,
+    shrink: bool = False,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[str]:
+    """Freeze every unacceptable campaign run into a bundle file.
+
+    With ``shrink=True`` each bundle is ddmin-minimized first and a
+    ``.shrink.log`` narrative is written beside it.  Returns the bundle
+    paths, in report order.
+    """
+    paths: List[str] = []
+    for result in report.failures():
+        bundle = bundle_from_result(
+            result,
+            n=report.n,
+            f=report.f,
+            value_bits=report.value_bits,
+            max_ticks=max_ticks,
+            note=f"auto-bundled campaign failure {result.config.label()}",
+        )
+        path = os.path.join(directory, bundle_name(bundle))
+        if shrink:
+            shrunk = shrink_bundle(bundle, jobs=jobs, cache=cache)
+            bundle = shrunk.minimized
+            bundle.write(path)
+            write_shrink_log(shrunk, path[: -len(".json")] + ".shrink.log")
+        else:
+            bundle.write(path)
+        paths.append(path)
+    return paths

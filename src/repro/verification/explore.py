@@ -88,6 +88,18 @@ class ExplorationResult:
         """No violating execution found."""
         return not self.violations
 
+    def counterexample(
+        self,
+    ) -> Optional[Tuple[Tuple[ChannelKey, ...], list]]:
+        """The first violating ``(delivery schedule, history)``, if any.
+
+        The schedule is exactly what :func:`replay_schedule` consumes
+        and what a ``repro.bundle/1`` explore artifact records (see
+        :func:`repro.triage.bundle.bundle_from_exploration`); DFS order
+        is deterministic, so "first" is stable across runs.
+        """
+        return self.violations[0] if self.violations else None
+
 
 def _full_digest(world: World) -> tuple:
     ops = tuple(

@@ -10,9 +10,12 @@ from repro.workload.patterns import (
     measure_peak_storage_with_nu_writes,
     staggered_writes_driver,
 )
+from repro.workload.script import OpDecision, WorkloadScript
 
 __all__ = [
+    "OpDecision",
     "WorkloadResult",
+    "WorkloadScript",
     "run_sequential_workload",
     "run_random_workload",
     "concurrent_writes_driver",

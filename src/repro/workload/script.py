@@ -1,0 +1,114 @@
+"""Explicit, replayable workload scripts.
+
+The chaos driver normally *derives* its workload from a seeded RNG
+stream; that is perfectly replayable, but it is not *editable* — you
+cannot remove one operation without perturbing every later decision.
+A :class:`WorkloadScript` is the explicit form: the exact sequence of
+invocation decisions a run made, each pinned to the driver tick at
+which it fired.  Replaying a script reproduces the original execution
+bit-for-bit (the driver performs the same action — invoke or deliver —
+at every tick, so the adversary RNG stream is consumed identically),
+and *editing* a script (dropping operations) is the workload half of
+the triage shrinker (:mod:`repro.triage.shrink`).
+
+Scripts are plain data: JSON round-trippable, hashable into cache
+keys, and safe to embed in ``repro.bundle/1`` artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OpDecision:
+    """One invocation decision: which client invoked what, and when.
+
+    ``tick`` is the chaos driver's tick counter (the watchdog clock),
+    not a World step count — the driver owns the fault timeline clock,
+    so scripted invocations fire in lockstep with crash/partition
+    events.  ``value`` is the written value for writes, None for reads.
+    """
+
+    tick: int
+    pid: str
+    kind: str  # "write" | "read"
+    value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read"):
+            raise ConfigurationError(
+                f"op kind must be 'write' or 'read', got {self.kind!r}"
+            )
+        if self.kind == "write" and self.value is None:
+            raise ConfigurationError(f"write at tick {self.tick} needs a value")
+
+    def to_json_dict(self) -> dict:
+        return {
+            "tick": self.tick,
+            "pid": self.pid,
+            "kind": self.kind,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "OpDecision":
+        return cls(
+            tick=data["tick"],
+            pid=data["pid"],
+            kind=data["kind"],
+            value=data.get("value"),
+        )
+
+    def label(self) -> str:
+        """Compact human-readable form for shrink logs."""
+        if self.kind == "write":
+            return f"@{self.tick} {self.pid} write({self.value})"
+        return f"@{self.tick} {self.pid} read"
+
+
+@dataclass(frozen=True)
+class WorkloadScript:
+    """An ordered sequence of :class:`OpDecision` entries."""
+
+    ops: Tuple[OpDecision, ...] = ()
+
+    def __post_init__(self) -> None:
+        ticks = [op.tick for op in self.ops]
+        if ticks != sorted(ticks):
+            raise ConfigurationError("script ops must be ordered by tick")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[OpDecision]:
+        return iter(self.ops)
+
+    def without(self, indices: Iterable[int]) -> "WorkloadScript":
+        """A copy with the given op positions removed (shrink step)."""
+        drop = set(indices)
+        return WorkloadScript(
+            tuple(op for i, op in enumerate(self.ops) if i not in drop)
+        )
+
+    def keep(self, indices: Iterable[int]) -> "WorkloadScript":
+        """A copy keeping only the given op positions, in order."""
+        kept = set(indices)
+        return WorkloadScript(
+            tuple(op for i, op in enumerate(self.ops) if i in kept)
+        )
+
+    def to_json_list(self) -> List[dict]:
+        return [op.to_json_dict() for op in self.ops]
+
+    @classmethod
+    def from_json_list(cls, data: Sequence[dict]) -> "WorkloadScript":
+        return cls(tuple(OpDecision.from_json_dict(d) for d in data))
+
+    @classmethod
+    def record(cls, decisions: Sequence[OpDecision]) -> "WorkloadScript":
+        """Freeze a recorded decision list into a script."""
+        return cls(tuple(decisions))

@@ -1,0 +1,52 @@
+"""Shared failure recipes for the triage test suite.
+
+Two deterministic failures, one per failure class:
+
+* ``DEMO_CONFIG`` — a *liveness* failure: a never-healing partition
+  isolates reader ``r000`` (plus one server) while the config expects
+  liveness, so the run stalls with a ``partition-isolated`` diagnosis.
+  Its derived timeline carries two crash/recover events *and* the
+  partition, of which only the partition matters — the shrinker must
+  discover that.
+* ``RIGGED_CONFIG`` — a *safety* failure: the ``stale-tags`` rigged
+  adversary rewrites every delivered tag to the initial tag, so ABD
+  servers never install a write and a later read returns the initial
+  value — a deterministic atomicity violation.
+"""
+
+from __future__ import annotations
+
+from repro.faults.campaign import ChaosRunResult, FaultConfig, run_chaos_workload
+from repro.registers.catalog import build_client_system
+from repro.triage.bundle import ReproBundle, bundle_from_result
+
+MAX_TICKS = 4000
+
+DEMO_CONFIG = FaultConfig(
+    name="demo",
+    seed=0,
+    crash_recovery=True,
+    fault_target_count=1,
+    partition_at=40,
+    heal_at=None,
+    expect_liveness=True,
+)
+
+RIGGED_CONFIG = FaultConfig(name="rigged", seed=0, tamper_mode="stale-tags")
+
+
+def run_failure(config: FaultConfig, num_ops: int = 10) -> ChaosRunResult:
+    """One deterministic ABD chaos run under ``config``."""
+    handle = build_client_system("abd", 5, 1, 6)
+    return run_chaos_workload(
+        handle, config, num_ops=num_ops, max_ticks=MAX_TICKS
+    )
+
+
+def failure_bundle(config: FaultConfig, num_ops: int = 10) -> ReproBundle:
+    """The failing run frozen as a bundle (asserts it really failed)."""
+    result = run_failure(config, num_ops=num_ops)
+    assert not result.acceptable
+    return bundle_from_result(
+        result, n=5, f=1, value_bits=6, max_ticks=MAX_TICKS, note="test failure"
+    )

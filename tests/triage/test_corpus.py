@@ -1,0 +1,84 @@
+"""The regression corpus: naming, campaign bundling, and the tier-1
+replay of every committed bundle under ``tests/corpus/``."""
+
+from __future__ import annotations
+
+import os
+
+from repro.faults.campaign import CampaignReport
+from repro.triage.bundle import ReproBundle
+from repro.triage.corpus import (
+    CORPUS_DIR,
+    add_to_corpus,
+    bundle_campaign_failures,
+    bundle_name,
+    corpus_paths,
+    load_corpus,
+    replay_corpus,
+)
+
+from tests.triage.helpers import DEMO_CONFIG, failure_bundle, run_failure
+
+
+def test_committed_corpus_replays():
+    """Every bundle in tests/corpus/ still reproduces its failure.
+
+    This is the regression check the corpus exists for: each entry is a
+    past counterexample, minimized, and must keep failing the same way
+    under the current code.
+    """
+    replays = replay_corpus(CORPUS_DIR)
+    assert replays, "regression corpus is empty - expected committed bundles"
+    for replay in replays:
+        assert replay.ok, (
+            f"{replay.path} no longer reproduces "
+            f"{replay.outcome.bundle.expected.signature()}: "
+            f"{replay.outcome.format()}"
+        )
+
+
+def test_bundle_name_is_canonical():
+    bundle = failure_bundle(DEMO_CONFIG)
+    name = bundle_name(bundle)
+    assert name == "abd-demo-s0-stall-partition-isolated.json"
+
+
+def test_add_and_load_corpus(tmp_path):
+    directory = str(tmp_path / "corpus")
+    assert corpus_paths(directory) == []  # missing dir is empty, not an error
+    bundle = failure_bundle(DEMO_CONFIG)
+    path = add_to_corpus(bundle, directory)
+    assert os.path.dirname(path) == directory
+    loaded = load_corpus(directory)
+    assert loaded == [(path, bundle)]
+
+
+def test_bundle_campaign_failures(tmp_path):
+    result = run_failure(DEMO_CONFIG)
+    report = CampaignReport(
+        n=5, f=1, value_bits=6, num_ops=10, results=[result]
+    )
+    directory = str(tmp_path / "triage")
+    paths = bundle_campaign_failures(report, directory, max_ticks=4000)
+    assert len(paths) == 1
+    bundle = ReproBundle.load(paths[0])
+    assert bundle.fault_config == DEMO_CONFIG
+    assert "auto-bundled campaign failure" in bundle.note
+    assert not os.path.exists(paths[0][: -len(".json")] + ".shrink.log")
+
+
+def test_bundle_campaign_failures_with_shrink(tmp_path):
+    result = run_failure(DEMO_CONFIG)
+    report = CampaignReport(
+        n=5, f=1, value_bits=6, num_ops=10, results=[result]
+    )
+    directory = str(tmp_path / "triage")
+    paths = bundle_campaign_failures(
+        report, directory, max_ticks=4000, shrink=True, jobs=1
+    )
+    bundle = ReproBundle.load(paths[0])
+    assert bundle.event_count() <= 1  # minimized below half of 3
+    assert "shrunk:" in bundle.note
+    log_path = paths[0][: -len(".json")] + ".shrink.log"
+    with open(log_path, "r", encoding="utf-8") as fh:
+        assert "shrunk" in fh.read()
