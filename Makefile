@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-tier1 bench bench-core perf-guard examples verify-proofs figure1 chaos sweep metrics-smoke shrink-smoke docs-check clean
+.PHONY: install test test-tier1 bench bench-core perf-guard examples verify-proofs figure1 chaos byzantine-smoke sweep metrics-smoke shrink-smoke docs-check clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -49,6 +49,17 @@ figure1:
 chaos:
 	$(PYTHON) -m repro chaos --n 5 --f 1 --seeds 3 --jobs 4 \
 		--json benchmarks/results/chaos_campaign.json
+
+# Tier-2 Byzantine smoke: a small seeded campaign over ABD and CAS with
+# one corrupt server per run (the Byzantine band from docs/byzantine.md),
+# plus the determinism guard.  The tier-1 counterpart — a single
+# equivocation run asserting Degraded-not-violated — lives in
+# tests/faults/test_byzantine.py and runs on every PR.
+byzantine-smoke:
+	$(PYTHON) -m pytest tests/faults/test_byzantine_campaign.py -q
+	$(PYTHON) -m repro chaos --byzantine 1 --algorithms abd cas \
+		--n 5 --f 1 --seeds 2 --ops 10 --jobs 4 --out "" \
+		--json benchmarks/results/byzantine_smoke.json
 
 # Section 2 parameter sweeps over the standard grids (same tables as
 # benchmarks/bench_sweeps.py), parallel + cached.

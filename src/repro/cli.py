@@ -236,6 +236,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("error: --seeds must be >= 1 (a zero-run campaign proves nothing)")
         return 3  # usage error (2 is reserved for safety violations)
+    if args.byzantine < 0:
+        print("error: --byzantine must be >= 0")
+        return 3
     progress = (lambda line: print(f"  {line}")) if args.verbose else None
     cache = None if args.no_cache else RunCache(args.cache_dir)
     report = run_campaign(
@@ -250,6 +253,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         fail_fast=args.fail_fast,
+        byzantine=args.byzantine,
     )
     print(report.format())
     if cache is not None:
@@ -641,6 +645,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seeds per fault shape (>=2 gives >=20 configs/algorithm)")
     p.add_argument("--ops", type=int, default=10, help="operations per run")
     p.add_argument("--max-ticks", type=int, default=60_000)
+    p.add_argument("--byzantine", type=int, default=0, metavar="F_B",
+                   help="append the Byzantine fault band with F_B corrupt "
+                   "servers per run (protocols defend with the same budget)")
     p.add_argument("--out", default="benchmarks/results/chaos_campaign.txt",
                    help="report path ('' to skip writing)")
     p.add_argument("--json", default="",

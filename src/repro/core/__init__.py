@@ -12,6 +12,8 @@ the executable-proof drivers.
 from repro.core.bounds import (
     BoundValues,
     abd_upper_total_normalized,
+    bks_integrated_total_bits,
+    bks_integrated_total_normalized,
     erasure_coding_upper_total_normalized,
     evaluate_bounds,
     nu_star,
@@ -61,6 +63,8 @@ __all__ = [
     "theorem65_total_bits",
     "theorem65_total_normalized",
     "abd_upper_total_normalized",
+    "bks_integrated_total_bits",
+    "bks_integrated_total_normalized",
     "erasure_coding_upper_total_normalized",
     "crossover_active_writes",
     "dominating_bound",

@@ -196,6 +196,45 @@ def theorem65_total_normalized(n: int, f: int, nu: int) -> float:
 
 
 # ---------------------------------------------------------------------------
+# BKS integrated bound (Berger-Keidar-Spiegelman, DISC 2018)
+# ---------------------------------------------------------------------------
+
+def bks_integrated_total_normalized(f: int, nu: int) -> float:
+    """Integrated-storage lower bound: ``min(f + 1, nu)``.
+
+    "Integrated Bounds for Disintegrated Storage" [BKS18]: against an
+    adaptive adversary, any ``f``-tolerant lock-free *regular* register
+    whose writes are not authenticated must, at some point of some
+    execution with ``nu`` concurrent writes, store ``min(f+1, nu)``
+    full value-sizes — coded/disintegrated storage cannot beat
+    replication once concurrency reaches ``f + 1``.  The Byzantine
+    connection (and why it lives in this repo's fault band): a
+    non-authenticated Byzantine server is indistinguishable from one
+    holding a stale or garbage coded element, so the same counting
+    argument prices Byzantine tolerance.  Our validated-decode CAS
+    pays it as code rate (``k <= n - 2f - 2b``); ABD's replication
+    already sits on the bound's curve at ``nu >= f + 1``.
+
+    Deliberately **not** folded into :meth:`BoundValues.best_lower`:
+    its hypotheses (adaptive adversary, regularity, no authentication)
+    differ from the paper's Theorems 4.1/5.1/6.5, so the comparison
+    table shows it side by side instead of mixing the models.
+    """
+    if f < 0:
+        raise BoundError(f"need f >= 0, got {f}")
+    if nu < 1:
+        raise BoundError(f"need nu >= 1, got {nu}")
+    return float(min(f + 1, nu))
+
+
+def bks_integrated_total_bits(f: int, v_size: int, nu: int) -> float:
+    """The BKS integrated bound in bits: ``min(f+1, nu) * log2 |V|``."""
+    if v_size < 2:
+        raise BoundError(f"need |V| >= 2, got {v_size}")
+    return bks_integrated_total_normalized(f, nu) * exact_log2(v_size)
+
+
+# ---------------------------------------------------------------------------
 # Prior upper bounds (the comparison curves in Figure 1)
 # ---------------------------------------------------------------------------
 
@@ -246,6 +285,7 @@ class BoundValues:
     theorem41: Optional[float]
     theorem51: float
     theorem65: float
+    bks_integrated: float
     abd_upper: float
     erasure_coding_upper: float
 
@@ -256,12 +296,19 @@ class BoundValues:
             "theorem41": self.theorem41,
             "theorem51": self.theorem51,
             "theorem65": self.theorem65,
+            "bks_integrated": self.bks_integrated,
             "abd_upper": self.abd_upper,
             "erasure_coding_upper": self.erasure_coding_upper,
         }
 
     def best_lower(self) -> float:
-        """The strongest applicable lower bound at this point."""
+        """The strongest applicable lower bound at this point.
+
+        ``bks_integrated`` is excluded: it holds under different
+        hypotheses (adaptive adversary, regular registers, no
+        authentication) than the paper's theorems, so folding it in
+        would mix incomparable models.
+        """
         candidates = [self.singleton, self.theorem51, self.theorem65]
         if self.theorem41 is not None:
             candidates.append(self.theorem41)
@@ -282,6 +329,7 @@ def evaluate_bounds(n: int, f: int, nu: int) -> BoundValues:
         theorem41=theorem41_total_normalized(n, f) if f >= 2 else None,
         theorem51=theorem51_total_normalized(n, f),
         theorem65=theorem65_total_normalized(n, f, nu),
+        bks_integrated=bks_integrated_total_normalized(f, nu),
         abd_upper=abd_upper_total_normalized(f),
         erasure_coding_upper=erasure_coding_upper_total_normalized(n, f, nu),
     )

@@ -36,7 +36,32 @@ Fault semantics
   otherwise keeps; it exists so the triage subsystem
   (:mod:`repro.triage`) has a reproducible, *known* atomicity
   violation to bundle, shrink, and regression-test against.  No
-  campaign fault shape ever enables it.
+  campaign fault shape ever enables it.  Modes live in a registry
+  (:func:`register_tamper_mode`) so new ones get one registration
+  point and config validation can list what exists.
+* **Byzantine servers** — a :class:`ByzantineConfig` marks up to
+  ``f_b`` servers as corrupt and assigns each a *role* describing how
+  its traffic is falsified in flight (the server code itself stays
+  honest; the wire does the lying, which keeps every protocol
+  implementation byte-identical between honest and Byzantine runs):
+
+  - ``equivocate`` — responses carrying data (``value``/``elem``) are
+    corrupted with a mask keyed on the *destination*, so different
+    readers see different values for the same tag and colluding
+    Byzantine servers tell each reader the same consistent lie;
+  - ``stale-replay`` — response tags are rewritten to the initial
+    tag, replaying the server's long-gone initial state;
+  - ``garbage`` — data payloads are bit-flipped with a mask keyed on
+    the *source*, modelling independent shard corruption;
+  - ``ack-drop`` — *inbound* install messages (``put``/``pre``/
+    ``fin``) are neutralized so the server acknowledges protocol
+    writes it never applies.
+
+  All corruption decisions are pure functions of ``(seed, src, dst,
+  payload)`` via a CRC-based hash — the main ``channel-adversary``
+  RNG stream is never consumed, so honest drop/duplicate/reorder
+  decisions replay bit-for-bit whether or not Byzantine servers are
+  present (the property bundle replay and ddmin shrinking rely on).
 
 The partition gate composes with channel filters: the World applies the
 filter first, then the partition, so proofs can run their freezes on a
@@ -47,14 +72,166 @@ current partition as a plain ``ChannelFilter`` for explicit
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.clone import clone_instance_state
 from repro.sim.events import Message
 from repro.sim.scheduler import ChannelFilter, ChannelKey
 from repro.util.rng import SeededRNG
+
+#: The initial tag as it appears in message payloads (``Tag.as_tuple``).
+_INITIAL_TAG_TUPLE = (0, "")
+
+
+def _rewrite(message: Message, **changes) -> Message:
+    """A copy of ``message`` with the given payload fields replaced."""
+    body = message.as_dict()
+    body.update(changes)
+    return Message.make(message.kind, **body)
+
+
+# ---------------------------------------------------------------------------
+# Tamper-mode registry
+# ---------------------------------------------------------------------------
+
+#: A tamper function returns the corrupted message, or None to leave the
+#: delivery untouched.  It must be deterministic and consume no RNG.
+TamperFn = Callable[[str, str, Message], Optional[Message]]
+
+_TAMPER_MODES: Dict[str, TamperFn] = {}
+
+
+def register_tamper_mode(name: str, fn: TamperFn) -> None:
+    """Register a rigged tamper mode under ``name`` (one per name)."""
+    if not name:
+        raise ConfigurationError("tamper mode name must be non-empty")
+    if name in _TAMPER_MODES:
+        raise ConfigurationError(f"tamper mode {name!r} is already registered")
+    _TAMPER_MODES[name] = fn
+
+
+def unregister_tamper_mode(name: str) -> None:
+    """Remove a registered tamper mode (test hook)."""
+    _TAMPER_MODES.pop(name, None)
+
+
+def tamper_mode_names() -> Tuple[str, ...]:
+    """All registered tamper modes, sorted (for error messages)."""
+    return tuple(sorted(_TAMPER_MODES))
+
+
+def _stale_tags_tamper(src: str, dst: str, message: Message) -> Optional[Message]:
+    """Rewrite any payload ``tag`` to the initial tag (safety-breaking)."""
+    if message.get("tag") is None:
+        return None
+    return _rewrite(message, tag=_INITIAL_TAG_TUPLE)
+
+
+register_tamper_mode("stale-tags", _stale_tags_tamper)
+
+
+# ---------------------------------------------------------------------------
+# Byzantine server model
+# ---------------------------------------------------------------------------
+
+#: Role names in the default assignment cycle.
+BYZANTINE_ROLE_NAMES = ("equivocate", "stale-replay", "garbage", "ack-drop")
+
+
+def _stable_mask(seed: int, *parts) -> int:
+    """Deterministic nonzero XOR mask in {1, 2, 3}.
+
+    Small enough that corrupted values stay inside any value/symbol
+    domain of >= 2 bits, yet guaranteed to differ from the honest
+    payload.  CRC-based (not ``hash``) so it is stable across processes
+    and Python hash randomization — a requirement for ``--jobs``
+    byte-identity.
+    """
+    data = repr((seed,) + parts).encode("utf-8")
+    return 1 + (zlib.crc32(data) % 3)
+
+
+@dataclass(frozen=True)
+class ByzantineConfig:
+    """Up to ``f_b`` corrupt servers and their per-server roles.
+
+    ``roles`` is cycled over ``servers`` (one role each); the default
+    cycle covers all four behaviors.  ``seed`` keys the deterministic
+    corruption masks (normally the fault config's seed).
+    """
+
+    #: Frozen: World forks share ByzantineConfig instances.
+    __clone_shared__ = True
+
+    servers: Tuple[str, ...] = ()
+    roles: Tuple[str, ...] = BYZANTINE_ROLE_NAMES
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.servers and not self.roles:
+            raise ConfigurationError(
+                "byzantine servers configured but no roles given"
+            )
+        for role in self.roles:
+            if role not in BYZANTINE_ROLE_NAMES:
+                raise ConfigurationError(
+                    f"unknown byzantine role {role!r} "
+                    f"(expected one of {', '.join(BYZANTINE_ROLE_NAMES)})"
+                )
+        if len(set(self.servers)) != len(self.servers):
+            raise ConfigurationError("byzantine servers must be distinct")
+
+    def role_of(self, pid: str) -> Optional[str]:
+        """This server's role, or None if it is honest."""
+        try:
+            index = self.servers.index(pid)
+        except ValueError:
+            return None
+        return self.roles[index % len(self.roles)]
+
+
+def _corrupt_response(
+    role: str, seed: int, src: str, dst: str, message: Message
+) -> Optional[Message]:
+    """Falsify an outbound response from Byzantine server ``src``."""
+    kind = message.kind
+    if role == "stale-replay":
+        if kind in ("get-ack", "qf-ack", "read-ack") and message.get("tag") not in (
+            None,
+            _INITIAL_TAG_TUPLE,
+        ):
+            changes: dict = {"tag": _INITIAL_TAG_TUPLE}
+            if message.get("value") is not None:
+                changes["value"] = 0
+            return _rewrite(message, **changes)
+        return None
+    if role in ("equivocate", "garbage"):
+        # Equivocation masks are keyed on the destination: every
+        # colluding Byzantine server tells reader r the same lie, and a
+        # different lie to reader r'.  Garbage masks are keyed on the
+        # source: each corrupt server flips its own shard independently.
+        key = dst if role == "equivocate" else src
+        tag = message.get("tag")
+        if kind == "get-ack" and message.get("value") is not None:
+            mask = _stable_mask(seed, role, key, tag)
+            return _rewrite(message, value=message.get("value") ^ mask)
+        if kind == "read-ack" and message.get("elem") is not None:
+            mask = _stable_mask(seed, role, key, tag)
+            return _rewrite(message, elem=message.get("elem") ^ mask)
+        return None
+    return None
+
+
+def _neutralize_install(message: Message) -> Optional[Message]:
+    """Gut an inbound install so an ``ack-drop`` server acks a no-op."""
+    if message.kind == "put":
+        return _rewrite(message, tag=_INITIAL_TAG_TUPLE, value=0)
+    if message.kind in ("pre", "fin"):
+        return _rewrite(message, tag=_INITIAL_TAG_TUPLE)
+    return None
 
 
 @dataclass(frozen=True)
@@ -124,10 +301,13 @@ class AdversaryConfig:
     #: Hard caps keeping executions finite under high probabilities.
     max_drops: Optional[int] = None
     max_duplicates: int = 256
-    #: Rigged-adversary mode: "" (honest) or "stale-tags" (rewrite tag
-    #: fields to the initial tag — a deliberate safety violation used
-    #: only by the triage subsystem's known-failure injection).
+    #: Rigged-adversary mode: "" (honest) or a mode registered via
+    #: :func:`register_tamper_mode` (e.g. "stale-tags", a deliberate
+    #: safety violation used by the triage subsystem's known-failure
+    #: injection).
     tamper_mode: str = ""
+    #: Byzantine server band: None = all servers honest.
+    byzantine: Optional[ByzantineConfig] = None
 
     def validate(self) -> None:
         """Reject nonsensical parameters."""
@@ -150,11 +330,13 @@ class AdversaryConfig:
             raise ConfigurationError(
                 f"max_duplicates must be >= 0, got {self.max_duplicates}"
             )
-        if self.tamper_mode not in ("", "stale-tags"):
+        if self.tamper_mode and self.tamper_mode not in _TAMPER_MODES:
             raise ConfigurationError(
                 f"unknown tamper_mode {self.tamper_mode!r} "
-                "(expected '' or 'stale-tags')"
+                f"(registered modes: {', '.join(tamper_mode_names())})"
             )
+        if self.byzantine is not None:
+            self.byzantine.validate()
 
 
 class ChannelAdversary:
@@ -176,6 +358,11 @@ class ChannelAdversary:
         self.partitions_started = 0
         self.heals = 0
         self.tampers = 0
+        self.byzantine_corruptions = 0
+        self.byzantine_by_role: Dict[str, int] = {}
+        #: What the last transform() did: "" | "tamper" | "byzantine:<role>".
+        #: The World reads this to emit differentiated obs counters.
+        self.last_corruption = ""
 
     def clone(self) -> "ChannelAdversary":
         """Independent copy for World forks.
@@ -246,24 +433,41 @@ class ChannelAdversary:
         return "deliver"
 
     def transform(self, src: str, dst: str, message: Message) -> Message:
-        """The message actually handed to the receiver (rigged modes only).
+        """The message actually handed to the receiver.
 
-        The honest adversary returns the message unchanged.  In
-        ``"stale-tags"`` mode any payload ``tag`` field is rewritten to
-        the initial tag ``(0, "")``, so tag-ordered protocols silently
-        refuse every update — a deterministic, replayable safety
-        violation for triage tests.  Deterministic by construction: no
-        RNG is consumed, so honest replays of the same channel history
-        stay bit-identical.
+        The honest adversary returns the message unchanged.  A rigged
+        ``tamper_mode`` applies its registered rewrite; a
+        :class:`ByzantineConfig` then falsifies traffic touching its
+        corrupt servers according to each server's role.  Deterministic
+        by construction: no RNG is consumed (masks are content-hashed),
+        so honest replays of the same channel history stay
+        bit-identical even when corruption is toggled.
         """
-        if self.config.tamper_mode != "stale-tags":
-            return message
-        if message.get("tag") is None:
-            return message
-        self.tampers += 1
-        body = message.as_dict()
-        body["tag"] = (0, "")  # INITIAL_TAG.as_tuple()
-        return Message.make(message.kind, **body)
+        self.last_corruption = ""
+        mode = self.config.tamper_mode
+        if mode:
+            tampered = _TAMPER_MODES[mode](src, dst, message)
+            if tampered is not None:
+                self.tampers += 1
+                self.last_corruption = "tamper"
+                message = tampered
+        byz = self.config.byzantine
+        if byz is not None:
+            role = byz.role_of(src)
+            corrupted = None
+            if role is not None and role != "ack-drop":
+                corrupted = _corrupt_response(role, byz.seed, src, dst, message)
+            if corrupted is None and byz.role_of(dst) == "ack-drop":
+                role = "ack-drop"
+                corrupted = _neutralize_install(message)
+            if corrupted is not None:
+                self.byzantine_corruptions += 1
+                self.byzantine_by_role[role] = (
+                    self.byzantine_by_role.get(role, 0) + 1
+                )
+                self.last_corruption = f"byzantine:{role}"
+                message = corrupted
+        return message
 
     def stats(self) -> dict:
         """Injection counters, for reports and tests."""
@@ -274,6 +478,8 @@ class ChannelAdversary:
             "partitions": self.partitions_started,
             "heals": self.heals,
             "tampers": self.tampers,
+            "byzantine_corruptions": self.byzantine_corruptions,
+            "byzantine_by_role": dict(sorted(self.byzantine_by_role.items())),
         }
 
     def __repr__(self) -> str:

@@ -30,7 +30,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.consistency.atomicity import check_atomicity
 from repro.consistency.history import History
 from repro.errors import StuckExecutionError
-from repro.faults.adversary import AdversaryConfig, ChannelAdversary, Partition
+from repro.faults.adversary import (
+    BYZANTINE_ROLE_NAMES,
+    AdversaryConfig,
+    ByzantineConfig,
+    ChannelAdversary,
+    Partition,
+)
 from repro.faults.recovery import CrashRecoverySchedule
 from repro.faults.watchdog import Diagnosis, LivenessWatchdog
 from repro.parallel.cache import RunCache
@@ -48,7 +54,9 @@ from repro.workload.script import OpDecision, WorkloadScript
 #: CLI, and the triage replayer construct byte-identical systems.
 CAMPAIGN_ALGORITHMS: Dict[str, Callable[..., SystemHandle]] = {
     name: (
-        lambda n, f, vb, _name=name: build_client_system(_name, n, f, vb)
+        lambda n, f, vb, byzantine_budget=0, _name=name: build_client_system(
+            _name, n, f, vb, byzantine_budget=byzantine_budget
+        )
     )
     for name in ("abd", "cas", "casgc")
 }
@@ -84,16 +92,40 @@ class FaultConfig:
     #: set by any campaign shape; used by triage tests to inject a
     #: known, replayable safety violation.
     tamper_mode: str = ""
+    #: Byzantine band: how many servers behave arbitrarily (the *first*
+    #: ones, disjoint from the crash/lossy targets, which are the last).
+    byzantine_count: int = 0
+    #: Corruption roles cycled over the Byzantine servers; empty means
+    #: the full default cycle (see BYZANTINE_ROLE_NAMES).
+    byzantine_roles: Tuple[str, ...] = ()
+    #: The budget ``b`` the *protocol* defends against (quorum
+    #: escalation + validation).  -1 means "equals byzantine_count";
+    #: an explicit 0 with byzantine_count > 0 builds unprotected
+    #: clients — the safety-violation fixture for triage tests.
+    byzantine_budget: int = -1
+
+    def resolved_byzantine_budget(self) -> int:
+        """The protocol-side budget this config implies."""
+        if self.byzantine_budget < 0:
+            return self.byzantine_count
+        return self.byzantine_budget
 
     def label(self) -> str:
         return f"{self.name}#{self.seed}"
 
     def to_cache_dict(self) -> dict:
         """Plain-JSON form: cache keys, ``--json`` reports, bundles."""
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        # Emit the JSON-native form so in-memory and disk round-trips
+        # compare equal.
+        data["byzantine_roles"] = list(self.byzantine_roles)
+        return data
 
     @classmethod
     def from_cache_dict(cls, data: dict) -> "FaultConfig":
+        data = dict(data)
+        # JSON round-trips tuples as lists; restore the frozen form.
+        data["byzantine_roles"] = tuple(data.get("byzantine_roles", ()))
         return cls(**data)
 
 
@@ -142,16 +174,51 @@ FAULT_SHAPES: Tuple[Tuple[str, dict], ...] = (
     ("crash-over-budget", {"crash_over_budget": True, "expect_liveness": False}),
 )
 
+#: The Byzantine band: appended to the grid only when a campaign opts
+#: in (``repro chaos --byzantine f_b``), so the default grid — and the
+#: coverage tests pinned to ``FAULT_SHAPES`` — is unchanged.  Each
+#: shape's ``byzantine_count`` is filled in by
+#: :func:`generate_fault_configs`.
+BYZANTINE_SHAPES: Tuple[Tuple[str, dict], ...] = (
+    # One shape per corruption role, to attribute any degradation.
+    ("byz-equivocate", {"byzantine_roles": ("equivocate",)}),
+    ("byz-stale-replay", {"byzantine_roles": ("stale-replay",)}),
+    ("byz-garbage", {"byzantine_roles": ("garbage",)}),
+    ("byz-ack-drop", {"byzantine_roles": ("ack-drop",)}),
+    # The default role cycle, plus composition with the other bands.
+    ("byz-mixed", {}),
+    ("byz-partition-heal", {"partition_at": 40, "heal_at": 240}),
+    # Byzantine + crashed servers exceed what the escalated quorum can
+    # absorb; liveness may legitimately fail but must be diagnosed.
+    (
+        "byz-crash",
+        {
+            "crash_recovery": True,
+            "fault_target_count": -1,
+            "expect_liveness": False,
+        },
+    ),
+)
 
-def generate_fault_configs(f: int, seeds: Sequence[int]) -> List[FaultConfig]:
+
+def generate_fault_configs(
+    f: int, seeds: Sequence[int], byzantine: int = 0
+) -> List[FaultConfig]:
     """The campaign grid: every fault shape at every seed.
 
     A ``fault_target_count`` of -1 in a shape means "the full budget
-    ``f``"; it is resolved here.
+    ``f``"; it is resolved here.  ``byzantine > 0`` appends the
+    Byzantine band with that many corrupt servers per run.
     """
+    shapes = list(FAULT_SHAPES)
+    if byzantine > 0:
+        shapes.extend(
+            (name, {**overrides, "byzantine_count": byzantine})
+            for name, overrides in BYZANTINE_SHAPES
+        )
     configs: List[FaultConfig] = []
     for seed in seeds:
-        for name, overrides in FAULT_SHAPES:
+        for name, overrides in shapes:
             resolved = dict(overrides)
             if resolved.get("fault_target_count") == -1:
                 resolved["fault_target_count"] = f
@@ -170,6 +237,16 @@ def _fault_targets(config: FaultConfig, handle: SystemHandle) -> List[str]:
 
 
 def _adversary_for(config: FaultConfig, handle: SystemHandle) -> ChannelAdversary:
+    byzantine = None
+    if config.byzantine_count > 0:
+        # The *first* servers go Byzantine, disjoint from the crash/lossy
+        # targets (the last ones), so the bands compose without a server
+        # being both crashed and corrupt.
+        byzantine = ByzantineConfig(
+            servers=tuple(handle.server_ids[: config.byzantine_count]),
+            roles=config.byzantine_roles or BYZANTINE_ROLE_NAMES,
+            seed=config.seed,
+        )
     return ChannelAdversary(
         AdversaryConfig(
             drop_probability=config.drop_probability,
@@ -178,6 +255,7 @@ def _adversary_for(config: FaultConfig, handle: SystemHandle) -> ChannelAdversar
             reorder_window=config.reorder_window,
             lossy_processes=frozenset(_fault_targets(config, handle)),
             tamper_mode=config.tamper_mode,
+            byzantine=byzantine,
         ),
         seed=config.seed,
     )
@@ -333,6 +411,9 @@ class ChaosRunResult:
     fault_stats: dict = field(default_factory=dict)
     crashes: int = 0
     recoveries: int = 0
+    #: Corrupt responses clients *detected and masked* (proof-positive
+    #: evidence only; see the register validation paths).
+    byzantine_detected: int = 0
     #: The exact invocation decisions this run made (replayable script).
     workload: Tuple[OpDecision, ...] = ()
     #: The explicit fault schedule this run executed (shrinkable).
@@ -348,7 +429,14 @@ class ChaosRunResult:
         # Liveness may legitimately fail here, but never silently.
         return self.live or self.diagnosis is not None
 
+    @property
+    def degraded(self) -> bool:
+        """Live and safe, but only because corruption was masked."""
+        return self.live and self.safety_ok and self.byzantine_detected > 0
+
     def verdict(self) -> str:
+        if self.degraded:
+            return "degraded"
         if self.live:
             return "live"
         return self.diagnosis.verdict if self.diagnosis else "silent-hang"
@@ -383,12 +471,16 @@ class ChaosRunResult:
                     ],
                     "undelivered": self.diagnosis.undelivered,
                     "live_servers": list(self.diagnosis.live_servers),
+                    "byzantine_servers": list(
+                        self.diagnosis.byzantine_servers
+                    ),
                 }
             ),
             "steps": self.steps,
             "fault_stats": dict(self.fault_stats),
             "crashes": self.crashes,
             "recoveries": self.recoveries,
+            "byzantine_detected": self.byzantine_detected,
             "workload": [op.to_json_dict() for op in self.workload],
             "timeline": (
                 None if self.timeline is None else self.timeline.to_json_dict()
@@ -421,12 +513,16 @@ class ChaosRunResult:
                     ),
                     undelivered=diag["undelivered"],
                     live_servers=tuple(diag["live_servers"]),
+                    byzantine_servers=tuple(
+                        diag.get("byzantine_servers", ())
+                    ),
                 )
             ),
             steps=data["steps"],
             fault_stats=dict(data["fault_stats"]),
             crashes=data["crashes"],
             recoveries=data["recoveries"],
+            byzantine_detected=data.get("byzantine_detected", 0),
             workload=tuple(
                 OpDecision.from_json_dict(d) for d in data.get("workload", ())
             ),
@@ -577,6 +673,9 @@ def run_chaos_workload(
     verdict = check_atomicity(history)
     crashes = sum(1 for a in world.trace if a.kind == "crash")
     recoveries = sum(1 for a in world.trace if a.kind == "recover")
+    byzantine_detected = sum(
+        getattr(world.process(pid), "byz_detected", 0) for pid in clients
+    )
     return ChaosRunResult(
         algorithm=handle.algorithm,
         config=config,
@@ -590,6 +689,7 @@ def run_chaos_workload(
         fault_stats=adversary.stats(),
         crashes=crashes,
         recoveries=recoveries,
+        byzantine_detected=byzantine_detected,
         workload=tuple(decisions),
         timeline=timeline,
     )
@@ -632,6 +732,7 @@ class CampaignReport:
         "losses",
         "dups",
         "reorders",
+        "byz",
         "crashes",
         "recoveries",
         "steps",
@@ -650,6 +751,7 @@ class CampaignReport:
                 r.fault_stats.get("drops", 0),
                 r.fault_stats.get("duplicates", 0),
                 r.fault_stats.get("reorders", 0),
+                r.fault_stats.get("byzantine_corruptions", 0),
                 r.crashes,
                 r.recoveries,
                 r.steps,
@@ -669,9 +771,11 @@ class CampaignReport:
         for algorithm in sorted(counts):
             lines.append(f"{algorithm}: {counts[algorithm]} fault configs")
         stalls = [r for r in self.results if not r.live]
+        degraded = [r for r in self.results if r.degraded]
         lines.append(
             f"runs: {len(self.results)} total, "
-            f"{len(self.results) - len(stalls)} live, {len(stalls)} diagnosed stalls"
+            f"{len(self.results) - len(stalls)} live "
+            f"({len(degraded)} degraded), {len(stalls)} diagnosed stalls"
         )
         lines.append(f"campaign {'PASSED' if self.passed else 'FAILED'}")
         for r in self.failures():
@@ -702,6 +806,7 @@ class CampaignReport:
             "summary": {
                 "runs": len(self.results),
                 "live": len(self.results) - len(stalls),
+                "degraded": sum(1 for r in self.results if r.degraded),
                 "diagnosed_stalls": len(stalls),
                 "failures": len(self.failures()),
                 "configs_per_algorithm": self.configs_per_algorithm(),
@@ -748,12 +853,16 @@ class CampaignReport:
                             ],
                             "undelivered": r.diagnosis.undelivered,
                             "live_servers": list(r.diagnosis.live_servers),
+                            "byzantine_servers": list(
+                                r.diagnosis.byzantine_servers
+                            ),
                             "summary": r.diagnosis.summary(),
                         }
                     ),
                     "fault_stats": dict(r.fault_stats),
                     "crashes": r.crashes,
                     "recoveries": r.recoveries,
+                    "byzantine_detected": r.byzantine_detected,
                     "steps": r.steps,
                     "acceptable": r.acceptable,
                 }
@@ -770,8 +879,13 @@ def _campaign_task(payload: dict) -> dict:
     parallel path and the cache share one task representation.
     """
     builder = CAMPAIGN_ALGORITHMS[payload["algorithm"]]
-    handle = builder(payload["n"], payload["f"], payload["value_bits"])
-    config = FaultConfig(**payload["config"])
+    config = FaultConfig.from_cache_dict(payload["config"])
+    handle = builder(
+        payload["n"],
+        payload["f"],
+        payload["value_bits"],
+        byzantine_budget=config.resolved_byzantine_budget(),
+    )
     result = run_chaos_workload(
         handle, config, payload["num_ops"], payload["max_ticks"]
     )
@@ -819,8 +933,13 @@ def run_campaign(
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
     fail_fast: bool = False,
+    byzantine: int = 0,
 ) -> CampaignReport:
     """Run every algorithm under every generated fault config.
+
+    ``byzantine > 0`` appends the Byzantine band
+    (:data:`BYZANTINE_SHAPES`) with that many corrupt servers per run;
+    the built systems defend with the matching protocol budget.
 
     ``jobs`` fans independent runs out over a worker pool (default:
     ``REPRO_JOBS`` or serial); results are merged in task order so the
@@ -835,7 +954,7 @@ def run_campaign(
     deterministic because runs execute in task order.
     """
     report = CampaignReport(n=n, f=f, value_bits=value_bits, num_ops=num_ops)
-    configs = generate_fault_configs(f, list(seeds))
+    configs = generate_fault_configs(f, list(seeds), byzantine)
     tasks = [
         campaign_task_payload(
             algorithm, config, n, f, value_bits, num_ops, max_ticks

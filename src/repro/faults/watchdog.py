@@ -15,6 +15,10 @@ letting drivers spin to ``max_steps``:
 * ``message-loss-starvation`` — nothing is in flight yet operations are
   pending: adversarial losses destroyed the acks a client was waiting
   for (the omission-fault analogue of a crashed quorum);
+* ``byzantine-suppressed`` — the starvation shape, but Byzantine
+  servers are active: corrupt acks (e.g. ``ack-drop`` neutralizing
+  installs, or unvalidatable responses) starved a client whose
+  escalated quorum could not be met;
 * ``step-budget-exhausted`` — the tick budget ran out while the system
   was still making (possibly unbounded) progress.
 
@@ -35,6 +39,7 @@ VERDICT_DEADLOCK = "deadlock"
 VERDICT_PARTITION = "partition-isolated"
 VERDICT_QUORUM = "quorum-unavailable"
 VERDICT_STARVATION = "message-loss-starvation"
+VERDICT_BYZANTINE = "byzantine-suppressed"
 VERDICT_BUDGET = "step-budget-exhausted"
 
 
@@ -49,6 +54,7 @@ class Diagnosis:
     blocked_channels: Tuple[ChannelKey, ...]
     undelivered: int
     live_servers: Tuple[str, ...]
+    byzantine_servers: Tuple[str, ...] = ()
 
     def summary(self) -> str:
         """One-line human-readable account."""
@@ -75,6 +81,8 @@ def diagnose_stall(
     live = tuple(s.pid for s in world.servers() if not s.failed)
     adversary = world.adversary
     partition = getattr(adversary, "partition", None)
+    byz_config = getattr(getattr(adversary, "config", None), "byzantine", None)
+    byzantine = tuple(byz_config.servers) if byz_config is not None else ()
 
     if budget_exhausted:
         verdict = VERDICT_BUDGET
@@ -93,6 +101,13 @@ def diagnose_stall(
     elif quorum is not None and len(live) < quorum:
         verdict = VERDICT_QUORUM
         detail = f"{len(live)} live servers < quorum size {quorum}"
+    elif byzantine:
+        verdict = VERDICT_BYZANTINE
+        detail = (
+            "no messages in flight yet operations are pending, with "
+            f"Byzantine servers {list(byzantine)} active (corrupt or "
+            "withheld acks starved the escalated quorum)"
+        )
     else:
         verdict = VERDICT_STARVATION
         detail = (
@@ -109,6 +124,7 @@ def diagnose_stall(
         blocked_channels=blocked,
         undelivered=undelivered,
         live_servers=live,
+        byzantine_servers=byzantine,
     )
 
 

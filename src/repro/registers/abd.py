@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, Set, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.registers.base import (
     SystemHandle,
     quorum_size,
@@ -88,12 +88,30 @@ class ABDServer(ServerProcess):
 
 
 class _QuorumClient(ClientProcess):
-    """Shared two-phase quorum machinery for ABD clients."""
+    """Shared two-phase quorum machinery for ABD clients.
 
-    def __init__(self, pid: str, server_ids: Tuple[str, ...], quorum: int) -> None:
+    ``byzantine_budget`` escalates every phase's ack target from the
+    crash quorum ``q = N - f`` to ``q + b``: any two escalated quorums
+    then intersect in at least ``N - 2f + b`` servers, of which at
+    least ``N - 2f >= 1`` are honest even after discounting ``b``
+    corrupt responders — the margin the reader-side validation in
+    :class:`ABDReadClient` needs to confirm a completed write by
+    ``b + 1`` matching responses.  Requires ``q + b <= N`` (i.e.
+    ``b <= f``), enforced by :func:`build_abd_system`.
+    """
+
+    def __init__(
+        self,
+        pid: str,
+        server_ids: Tuple[str, ...],
+        quorum: int,
+        byzantine_budget: int = 0,
+    ) -> None:
         super().__init__(pid)
         self.server_ids = server_ids
         self.quorum = quorum
+        self.byzantine_budget = byzantine_budget
+        self.ack_target = quorum + byzantine_budget
         self.phase: int = 0
         self.phase_nonce: int = 0
         self.responded: Set[str] = set()
@@ -120,8 +138,14 @@ class _QuorumClient(ClientProcess):
 class ABDWriteClient(_QuorumClient):
     """Two-phase ABD writer."""
 
-    def __init__(self, pid: str, server_ids: Tuple[str, ...], quorum: int) -> None:
-        super().__init__(pid, server_ids, quorum)
+    def __init__(
+        self,
+        pid: str,
+        server_ids: Tuple[str, ...],
+        quorum: int,
+        byzantine_budget: int = 0,
+    ) -> None:
+        super().__init__(pid, server_ids, quorum, byzantine_budget)
         self.pending_value: Optional[int] = None
         self.max_tag: Tag = INITIAL_TAG
 
@@ -143,7 +167,7 @@ class ABDWriteClient(_QuorumClient):
             tag = Tag.from_tuple(message.get("tag"))
             if tag > self.max_tag:
                 self.max_tag = tag
-            if len(self.responded) >= self.quorum:
+            if len(self.responded) >= self.ack_target:
                 new_tag = self.max_tag.next_for(self.pid)
                 self.phase = 2
                 if ctx.obs:
@@ -156,7 +180,7 @@ class ABDWriteClient(_QuorumClient):
                     value=self.pending_value,
                 )
         elif self.phase == 2 and message.kind == "put-ack":
-            if len(self.responded) >= self.quorum:
+            if len(self.responded) >= self.ack_target:
                 self.phase = 0
                 self.pending_value = None
                 if ctx.obs:
@@ -180,6 +204,21 @@ class ABDReadClient(_QuorumClient):
     With ``write_back=False`` the read returns after phase 1; the
     register is then only *regular* — the configuration used by the
     SWSR lower-bound experiments.
+
+    With ``byzantine_budget=b > 0`` the reader collects ``q + b``
+    responses and *validates* before choosing: it picks the highest
+    tag whose ``(tag, value)`` pair is confirmed by at least ``b + 1``
+    responders (any completed write reaches ``b + 1`` honest servers of
+    every escalated quorum, see :class:`_QuorumClient`; at most ``b``
+    corrupt responders can never forge that count).  Responses sharing
+    the chosen tag but reporting a different value are proof-positive
+    corruption — tags are writer-unique, honest servers store what the
+    writer sent — and are counted on ``byz_detected`` (surfaced as the
+    run's ``Degraded`` verdict and the ``faults.byzantine.detected`` /
+    ``masked`` counters).  If no pair reaches ``b + 1`` confirmations
+    (possible only under concurrent writes still in flight) the reader
+    falls back to the plain max-tag choice and counts
+    ``byz_unconfirmed``.
     """
 
     def __init__(
@@ -188,17 +227,23 @@ class ABDReadClient(_QuorumClient):
         server_ids: Tuple[str, ...],
         quorum: int,
         write_back: bool = True,
+        byzantine_budget: int = 0,
     ) -> None:
-        super().__init__(pid, server_ids, quorum)
+        super().__init__(pid, server_ids, quorum, byzantine_budget)
         self.write_back = write_back
         self.best_tag: Tag = INITIAL_TAG
         self.best_value: int = 0
         self.have_best = False
+        #: src -> (tag tuple, value); collected only when validating.
+        self.acks: dict = {}
+        self.byz_detected = 0
+        self.byz_unconfirmed = 0
 
     def start_read(self, ctx: ProcessContext, op_id: int) -> None:
         self.best_tag = INITIAL_TAG
         self.best_value = 0
         self.have_best = False
+        self.acks = {}
         self.phase = 1
         if ctx.obs:
             ctx.obs.begin_span(self.pid, "read/query", ctx.step, op_id=op_id)
@@ -207,16 +252,54 @@ class ABDReadClient(_QuorumClient):
     def start_write(self, ctx: ProcessContext, op_id: int, value: int) -> None:
         raise SimulationError("ABD read client cannot write")
 
+    def _select_validated(self, ctx: ProcessContext) -> None:
+        """Byzantine-tolerant candidate selection over collected acks."""
+        if ctx.obs:
+            ctx.obs.begin_span(self.pid, "read/validate", ctx.step)
+        counts: dict = {}
+        for pair in self.acks.values():
+            counts[pair] = counts.get(pair, 0) + 1
+        confirmed = [
+            pair for pair, c in counts.items() if c > self.byzantine_budget
+        ]
+        if confirmed:
+            tag_tuple, value = max(
+                confirmed, key=lambda p: (Tag.from_tuple(p[0]), p[1])
+            )
+            self.best_tag = Tag.from_tuple(tag_tuple)
+            self.best_value = value
+            self.have_best = True
+        else:
+            self.byz_unconfirmed += 1
+            if ctx.obs:
+                ctx.obs.registry.inc("faults.byzantine.unconfirmed")
+        conflicts = sum(
+            1
+            for pair in self.acks.values()
+            if pair[0] == self.best_tag.as_tuple() and pair[1] != self.best_value
+        )
+        if conflicts:
+            self.byz_detected += conflicts
+            if ctx.obs:
+                ctx.obs.registry.inc("faults.byzantine.detected", conflicts)
+                ctx.obs.registry.inc("faults.byzantine.masked", conflicts)
+        if ctx.obs:
+            ctx.obs.end_span(self.pid, "read/validate", ctx.step)
+
     def on_message(self, ctx: ProcessContext, src: str, message: Message) -> None:
         if self.pending_op_id is None or not self._accept_ack(src, message):
             return
         if self.phase == 1 and message.kind == "get-ack":
             tag = Tag.from_tuple(message.get("tag"))
+            if self.byzantine_budget:
+                self.acks[src] = (message.get("tag"), message.get("value"))
             if not self.have_best or tag > self.best_tag:
                 self.have_best = True
                 self.best_tag = tag
                 self.best_value = message.get("value")
-            if len(self.responded) >= self.quorum:
+            if len(self.responded) >= self.ack_target:
+                if self.byzantine_budget:
+                    self._select_validated(ctx)
                 if ctx.obs:
                     ctx.obs.end_span(self.pid, "read/query", ctx.step)
                 if self.write_back:
@@ -233,7 +316,7 @@ class ABDReadClient(_QuorumClient):
                     self.phase = 0
                     self.finish(ctx, self.best_value)
         elif self.phase == 2 and message.kind == "put-ack":
-            if len(self.responded) >= self.quorum:
+            if len(self.responded) >= self.ack_target:
                 self.phase = 0
                 if ctx.obs:
                     ctx.obs.end_span(self.pid, "read/write-back", ctx.step)
@@ -248,6 +331,9 @@ class ABDReadClient(_QuorumClient):
             self.best_value,
             self.have_best,
             self.pending_op_id,
+            tuple(sorted(self.acks.items())),
+            self.byz_detected,
+            self.byz_unconfirmed,
         )
 
 
@@ -259,11 +345,27 @@ def build_abd_system(
     num_readers: int = 1,
     initial_value: int = 0,
     read_write_back: bool = True,
+    byzantine_budget: int = 0,
     world: Optional[World] = None,
 ) -> SystemHandle:
-    """Build a World running ABD and wrap it in a :class:`SystemHandle`."""
+    """Build a World running ABD and wrap it in a :class:`SystemHandle`.
+
+    ``byzantine_budget=b`` escalates every quorum to ``q + b`` and turns
+    on reader-side response validation, masking up to ``b`` corrupt
+    servers (see :class:`ABDReadClient`).  Needs ``q + b <= n``, i.e.
+    ``b <= f`` for the majority quorum.
+    """
     validate_system_params(n, f, value_bits, num_writers, num_readers)
     q = quorum_size(n, f)
+    if byzantine_budget < 0:
+        raise ConfigurationError(
+            f"byzantine_budget must be >= 0; got {byzantine_budget}"
+        )
+    if q + byzantine_budget > n:
+        raise ConfigurationError(
+            f"escalated quorum {q}+{byzantine_budget} exceeds n={n}; "
+            f"ABD tolerates byzantine_budget <= {n - q}"
+        )
     w = world or World()
     server_ids = [server_id(i) for i in range(n)]
     for sid in server_ids:
@@ -271,10 +373,16 @@ def build_abd_system(
     sid_tuple = tuple(server_ids)
     writer_ids = [writer_id(i) for i in range(num_writers)]
     for pid in writer_ids:
-        w.add_process(ABDWriteClient(pid, sid_tuple, q))
+        w.add_process(
+            ABDWriteClient(pid, sid_tuple, q, byzantine_budget)
+        )
     reader_ids = [reader_id(i) for i in range(num_readers)]
     for pid in reader_ids:
-        w.add_process(ABDReadClient(pid, sid_tuple, q, read_write_back))
+        w.add_process(
+            ABDReadClient(
+                pid, sid_tuple, q, read_write_back, byzantine_budget
+            )
+        )
     return SystemHandle(
         world=w,
         algorithm="abd",
@@ -284,5 +392,9 @@ def build_abd_system(
         server_ids=server_ids,
         writer_ids=writer_ids,
         reader_ids=reader_ids,
-        params={"quorum": q, "read_write_back": read_write_back},
+        params={
+            "quorum": q,
+            "read_write_back": read_write_back,
+            "byzantine_budget": byzantine_budget,
+        },
     )

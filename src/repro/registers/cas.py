@@ -30,6 +30,7 @@ used by the storage-growth benchmarks.
 
 from __future__ import annotations
 
+from itertools import combinations
 from typing import Dict, List, Optional, Tuple
 
 from repro.coding.reed_solomon import ReedSolomonCode
@@ -233,7 +234,16 @@ class CASServer(ServerProcess):
 
 
 class CASWriteClient(ClientProcess):
-    """Three-phase CAS writer."""
+    """Three-phase CAS writer.
+
+    With ``byzantine_budget=b > 0`` every phase waits for ``quorum + b``
+    acknowledgements, so at least ``quorum`` *honest* servers performed
+    the phase even if ``b`` Byzantine servers acknowledged without
+    installing (the ``ack-drop`` role).  Query-phase tags are safe
+    without validation: corrupt servers may only *understate* their
+    highest finalized tag, and the max over ``quorum + b`` responses
+    dominates the max over the honest quorum inside it.
+    """
 
     def __init__(
         self,
@@ -241,10 +251,13 @@ class CASWriteClient(ClientProcess):
         server_ids: Tuple[str, ...],
         quorum: int,
         code: ReedSolomonCode,
+        byzantine_budget: int = 0,
     ) -> None:
         super().__init__(pid)
         self.server_ids = server_ids
         self.quorum = quorum
+        self.byzantine_budget = byzantine_budget
+        self.ack_target = quorum + byzantine_budget
         self.code = code
         self.phase = 0
         self.phase_nonce = 0
@@ -283,7 +296,7 @@ class CASWriteClient(ClientProcess):
             tag = message.get("tag")
             if Tag.from_tuple(tag) > Tag.from_tuple(self.max_tag):
                 self.max_tag = tag
-            if len(self.responded) >= self.quorum:
+            if len(self.responded) >= self.ack_target:
                 self.write_tag = (
                     Tag.from_tuple(self.max_tag).next_for(self.pid).as_tuple()
                 )
@@ -302,7 +315,7 @@ class CASWriteClient(ClientProcess):
                         ),
                     )
         elif self.phase == 2 and message.kind == "pre-ack":
-            if len(self.responded) >= self.quorum:
+            if len(self.responded) >= self.ack_target:
                 self.phase = 3
                 if ctx.obs:
                     ctx.obs.end_span(self.pid, "write/pre-write", ctx.step)
@@ -314,7 +327,7 @@ class CASWriteClient(ClientProcess):
                         Message.make("fin", ref=self._ref(), tag=self.write_tag),
                     )
         elif self.phase == 3 and message.kind == "fin-ack":
-            if len(self.responded) >= self.quorum:
+            if len(self.responded) >= self.ack_target:
                 self.phase = 0
                 self.pending_value = None
                 self.write_tag = None
@@ -335,7 +348,23 @@ class CASWriteClient(ClientProcess):
 
 
 class CASReadClient(ClientProcess):
-    """Two-phase CAS reader with GC-retry."""
+    """Two-phase CAS reader with GC-retry.
+
+    With ``byzantine_budget=b > 0`` the reader performs *validated
+    decoding*: corrupt coded elements are detected by consistency, not
+    trust.  Once at least ``k + b`` elements arrived it tries decoding
+    ``k``-subsets (deterministic order: sorted server indices) and
+    accepts a decode only when its re-encoding matches at least
+    ``k + b`` of the received elements.  Two distinct codewords of an
+    ``(n, k)`` MDS code agree in at most ``k - 1`` coordinates, so a
+    wrong value matches at most ``k - 1`` honest elements plus ``b``
+    corrupt ones — strictly below the bar — while the true value
+    matches every honest element and therefore clears the bar once
+    ``k + 2b`` responses arrive.  Elements disagreeing with the
+    accepted codeword are proof-positive corruption and counted on
+    ``byz_detected``.  Liveness thus needs ``k <= n - 2f - 2b``:
+    the Byzantine price paid in code rate (the BKS duality).
+    """
 
     def __init__(
         self,
@@ -344,11 +373,14 @@ class CASReadClient(ClientProcess):
         quorum: int,
         code: ReedSolomonCode,
         max_retries: int = 100,
+        byzantine_budget: int = 0,
     ) -> None:
         super().__init__(pid)
         self.server_ids = server_ids
         self.server_index = {sid: i for i, sid in enumerate(server_ids)}
         self.quorum = quorum
+        self.byzantine_budget = byzantine_budget
+        self.ack_target = quorum + byzantine_budget
         self.code = code
         self.max_retries = max_retries
         self.phase = 0
@@ -357,6 +389,7 @@ class CASReadClient(ClientProcess):
         self.read_tag: tuple = INITIAL_TAG.as_tuple()
         self.elements: Dict[int, int] = {}
         self.retries = 0
+        self.byz_detected = 0
 
     def _ref(self) -> tuple:
         return (self.pid, self.phase_nonce)
@@ -394,7 +427,7 @@ class CASReadClient(ClientProcess):
             tag = message.get("tag")
             if Tag.from_tuple(tag) > Tag.from_tuple(self.read_tag):
                 self.read_tag = tag
-            if len(self.responded) >= self.quorum:
+            if len(self.responded) >= self.ack_target:
                 self.phase = 2
                 if ctx.obs:
                     ctx.obs.end_span(self.pid, "read/query", ctx.step)
@@ -411,12 +444,18 @@ class CASReadClient(ClientProcess):
             if message.get("tag") != self.read_tag:
                 return
             self.elements[self.server_index[src]] = message.get("elem")
-            if len(self.elements) >= self.code.k:
+            if self.byzantine_budget:
+                value = self._try_validated_decode(ctx)
+                if value is None:
+                    return
+            elif len(self.elements) >= self.code.k:
                 value = self.code.decode(self.elements)
-                self.phase = 0
-                if ctx.obs:
-                    ctx.obs.end_span(self.pid, "read/collect", ctx.step)
-                self.finish(ctx, value)
+            else:
+                return
+            self.phase = 0
+            if ctx.obs:
+                ctx.obs.end_span(self.pid, "read/collect", ctx.step)
+            self.finish(ctx, value)
         elif self.phase == 2 and message.kind == "read-gc":
             # The tag we wanted was garbage-collected: a newer finalized
             # tag exists, so re-query.
@@ -430,6 +469,45 @@ class CASReadClient(ClientProcess):
                 ctx.obs.registry.inc("cas.read_gc_retries")
             self._start_query(ctx)
 
+    def _try_validated_decode(self, ctx: ProcessContext) -> Optional[int]:
+        """Decode a ``k``-subset whose codeword explains ``>= k + b`` of
+        the received elements; ``None`` until enough consistent shards
+        arrived.  Subsets are tried in sorted-index order so the result
+        is a pure function of the element set (determinism at any
+        ``--jobs``)."""
+        k, b = self.code.k, self.byzantine_budget
+        if len(self.elements) < k + b:
+            return None
+        if ctx.obs:
+            ctx.obs.begin_span(self.pid, "read/validate", ctx.step)
+        indices = sorted(self.elements)
+        accepted = None
+        for subset in combinations(indices, k):
+            value = self.code.decode(
+                {i: self.elements[i] for i in subset}
+            )
+            matches = sum(
+                1
+                for i in indices
+                if self.code.encode_symbol(value, i) == self.elements[i]
+            )
+            if matches >= k + b:
+                accepted = value
+                mismatched = len(indices) - matches
+                if mismatched:
+                    self.byz_detected += mismatched
+                    if ctx.obs:
+                        ctx.obs.registry.inc(
+                            "faults.byzantine.detected", mismatched
+                        )
+                        ctx.obs.registry.inc(
+                            "faults.byzantine.masked", mismatched
+                        )
+                break
+        if ctx.obs:
+            ctx.obs.end_span(self.pid, "read/validate", ctx.step)
+        return accepted
+
     def state_digest(self) -> tuple:
         return (
             self.phase,
@@ -439,6 +517,7 @@ class CASReadClient(ClientProcess):
             tuple(sorted(self.elements.items())),
             self.retries,
             self.pending_op_id,
+            self.byz_detected,
         )
 
 
@@ -452,19 +531,37 @@ def build_cas_system(
     initial_value: int = 0,
     gc_depth: Optional[int] = None,
     optimistic: bool = False,
+    byzantine_budget: int = 0,
     world: Optional[World] = None,
 ) -> SystemHandle:
-    """Build a World running CAS (or CASGC if ``gc_depth`` is set)."""
+    """Build a World running CAS (or CASGC if ``gc_depth`` is set).
+
+    ``byzantine_budget=b`` enables validated decoding against up to
+    ``b`` corrupt servers; the default code rate then drops to
+    ``k = n - 2f - 2b`` so a reader can always gather the ``k + 2b``
+    consistent elements validation needs — the storage price of
+    Byzantine tolerance (see ``docs/byzantine.md``).
+    """
     validate_system_params(n, f, value_bits, num_writers, num_readers)
+    if byzantine_budget < 0:
+        raise ConfigurationError(
+            f"byzantine_budget must be >= 0; got {byzantine_budget}"
+        )
     if k is None:
-        k = max(1, n - 2 * f)
-    max_k = (n - f) if optimistic else (n - 2 * f)
+        k = max(1, n - 2 * f - 2 * byzantine_budget)
+    max_k = (n - f) if optimistic else (n - 2 * f - 2 * byzantine_budget)
     if not 1 <= k <= max(1, max_k):
         raise ConfigurationError(
             f"CAS needs 1 <= k <= {max(1, max_k)} "
-            f"(n={n}, f={f}, optimistic={optimistic}); got k={k}"
+            f"(n={n}, f={f}, optimistic={optimistic}, "
+            f"byzantine_budget={byzantine_budget}); got k={k}"
         )
     q = cas_quorum_size(n, k)
+    if q + byzantine_budget > n:
+        raise ConfigurationError(
+            f"escalated quorum {q}+{byzantine_budget} exceeds n={n}; "
+            "byzantine_budget too large for this (n, k)"
+        )
     if not optimistic and q > n - f:
         raise ConfigurationError(
             f"quorum {q} exceeds surviving servers {n - f}"
@@ -479,10 +576,18 @@ def build_cas_system(
     sid_tuple = tuple(server_ids)
     writer_ids = [writer_id(i) for i in range(num_writers)]
     for pid in writer_ids:
-        w.add_process(CASWriteClient(pid, sid_tuple, q, code))
+        w.add_process(
+            CASWriteClient(
+                pid, sid_tuple, q, code, byzantine_budget=byzantine_budget
+            )
+        )
     reader_ids = [reader_id(i) for i in range(num_readers)]
     for pid in reader_ids:
-        w.add_process(CASReadClient(pid, sid_tuple, q, code))
+        w.add_process(
+            CASReadClient(
+                pid, sid_tuple, q, code, byzantine_budget=byzantine_budget
+            )
+        )
     return SystemHandle(
         world=w,
         algorithm="casgc" if gc_depth is not None else "cas",
@@ -498,5 +603,6 @@ def build_cas_system(
             "gc_depth": gc_depth,
             "optimistic": optimistic,
             "symbol_bits": code.symbol_bits,
+            "byzantine_budget": byzantine_budget,
         },
     )

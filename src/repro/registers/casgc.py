@@ -32,6 +32,7 @@ def build_casgc_system(
     num_readers: int = 1,
     initial_value: int = 0,
     optimistic: bool = False,
+    byzantine_budget: int = 0,
     world: Optional[World] = None,
 ) -> SystemHandle:
     """Build a CASGC system; ``gc_depth`` is the concurrency bound δ."""
@@ -47,5 +48,6 @@ def build_casgc_system(
         initial_value=initial_value,
         gc_depth=gc_depth,
         optimistic=optimistic,
+        byzantine_budget=byzantine_budget,
         world=world,
     )

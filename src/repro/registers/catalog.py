@@ -37,27 +37,38 @@ def build_client_system(
     num_writers: int = 2,
     num_readers: int = 2,
     gc_depth: Optional[int] = None,
+    byzantine_budget: int = 0,
 ) -> SystemHandle:
     """Build ``algorithm``'s system with the given client population.
 
     ``gc_depth`` applies to CASGC only (default 2, the campaign's
     setting).  Single-writer algorithms ignore ``num_writers``.
+    ``byzantine_budget`` enables Byzantine-tolerant validation in the
+    MWMR algorithms; the SWMR lower-bound systems do not support it.
     """
+    if byzantine_budget and algorithm not in MULTI_WRITER:
+        raise ConfigurationError(
+            f"byzantine_budget is only supported for {MULTI_WRITER}; "
+            f"got algorithm {algorithm!r}"
+        )
     if algorithm == "abd":
         return build_abd_system(
             n=n, f=f, value_bits=value_bits,
             num_writers=num_writers, num_readers=num_readers,
+            byzantine_budget=byzantine_budget,
         )
     if algorithm == "cas":
         return build_cas_system(
             n=n, f=f, value_bits=value_bits,
             num_writers=num_writers, num_readers=num_readers,
+            byzantine_budget=byzantine_budget,
         )
     if algorithm == "casgc":
         return build_casgc_system(
             n=n, f=f, value_bits=value_bits,
             num_writers=num_writers, num_readers=num_readers,
             gc_depth=2 if gc_depth is None else gc_depth,
+            byzantine_budget=byzantine_budget,
         )
     if algorithm == "swmr-abd":
         return build_swmr_abd_system(

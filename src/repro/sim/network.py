@@ -267,12 +267,18 @@ class World:
                 channel.enqueue(message)
                 if self.obs:
                     self.obs.registry.inc("faults.duplicates")
-            # Rigged adversaries may hand the receiver a tampered copy
-            # (the honest transform is the identity).
+            # Rigged or Byzantine adversaries may hand the receiver a
+            # tampered copy (the honest transform is the identity).
             tampered = adversary.transform(src, dst, message)
             if tampered is not message:
                 if self.obs:
                     self.obs.registry.inc("faults.tampers")
+                    kind = getattr(adversary, "last_corruption", "")
+                    if kind.startswith("byzantine:"):
+                        self.obs.registry.inc("faults.byzantine.corruptions")
+                        self.obs.registry.inc(
+                            f"faults.byzantine.{kind.split(':', 1)[1]}"
+                        )
                 message = tampered
         record = self._record("deliver", src, dst, message.kind)
         receiver.on_message(ProcessContext(self, dst), src, message)

@@ -238,13 +238,20 @@ def bundle_from_result(
             "result carries no fault timeline (cached under an old schema?); "
             "re-run the campaign to bundle it"
         )
+    builder_params = dict(CAMPAIGN_BUILDER_PARAMS)
+    if result.config.byzantine_count > 0:
+        # The replayed system must defend with the same protocol budget
+        # the campaign built, or the replay diverges.
+        builder_params["byzantine_budget"] = (
+            result.config.resolved_byzantine_budget()
+        )
     return ReproBundle(
         kind="chaos",
         algorithm=result.algorithm,
         n=n,
         f=f,
         value_bits=value_bits,
-        builder_params=dict(CAMPAIGN_BUILDER_PARAMS),
+        builder_params=builder_params,
         fault_config=result.config,
         workload=WorkloadScript.record(result.workload),
         timeline=result.timeline,

@@ -1,11 +1,15 @@
 """Tests for the paper's bound formulas (the primary contribution)."""
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bounds import (
     BoundValues,
     abd_upper_total_normalized,
+    bks_integrated_total_bits,
+    bks_integrated_total_normalized,
     erasure_coding_upper_total_normalized,
     evaluate_bounds,
     nu_star,
@@ -184,6 +188,54 @@ class TestUpperBounds:
             erasure_coding_upper_total_normalized(21, 10, -1)
 
 
+class TestBKSIntegrated:
+    def test_saturates_at_replication_cost(self):
+        # Once nu >= f+1 the bound equals the ABD upper curve:
+        # replication is integrated-storage optimal.
+        assert bks_integrated_total_normalized(10, 11) == 11.0
+        assert bks_integrated_total_normalized(10, 100) == abd_upper_total_normalized(10)
+
+    def test_low_concurrency(self):
+        assert bks_integrated_total_normalized(10, 3) == 3.0
+
+    def test_bits_form(self):
+        assert bks_integrated_total_bits(2, 1 << 8, 5) == 3 * 8.0
+
+    def test_invalid(self):
+        with pytest.raises(BoundError):
+            bks_integrated_total_normalized(-1, 1)
+        with pytest.raises(BoundError):
+            bks_integrated_total_normalized(1, 0)
+        with pytest.raises(BoundError):
+            bks_integrated_total_bits(1, 1, 1)
+
+    @given(nf_pairs, st.integers(min_value=1, max_value=40))
+    def test_never_exceeds_replication(self, nf, nu):
+        _, f = nf
+        assert bks_integrated_total_normalized(f, nu) <= abd_upper_total_normalized(f)
+
+    def test_excluded_from_best_lower(self):
+        # Different model hypotheses: the comparison table shows it,
+        # best_lower() does not mix it in — even a forced huge value
+        # cannot raise the max.
+        values = evaluate_bounds(21, 10, 16)
+        assert values.bks_integrated == 11.0
+        forced = dataclasses.replace(values, bks_integrated=99.0)
+        assert forced.best_lower() == values.best_lower()
+
+    @given(nf_pairs, st.integers(min_value=1, max_value=40))
+    def test_dominated_by_theorem65(self, nf, nu):
+        # In the normalized total-storage metric the integrated bound
+        # never beats Theorem 6.5 (it saturates at f+1 exactly where
+        # theorem65's coefficient does), which is why excluding it from
+        # best_lower() loses nothing within this paper's model.
+        n, f = nf
+        assert (
+            bks_integrated_total_normalized(f, nu)
+            <= theorem65_total_normalized(n, f, nu) + 1e-12
+        )
+
+
 class TestEvaluateBounds:
     def test_all_fields_present(self):
         values = evaluate_bounds(21, 10, 5)
@@ -193,6 +245,7 @@ class TestEvaluateBounds:
             "theorem41",
             "theorem51",
             "theorem65",
+            "bks_integrated",
             "abd_upper",
             "erasure_coding_upper",
         }

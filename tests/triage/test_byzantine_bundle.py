@@ -1,0 +1,77 @@
+"""Satellite: repro-bundle round-trip for a Byzantine fault config.
+
+The fixture is the *unprotected* equivocation run — ``byzantine_count=1``
+with an explicit ``byzantine_budget=0`` — whose corruption goes unmasked
+and deterministically breaks atomicity.  The bundle must carry the full
+Byzantine config through write/load, replay must reproduce the
+``("unsafe",)`` signature, and ddmin minimization must preserve both the
+signature and the ``f_b`` budget fields (they are part of the failure's
+essence, not removable structure).
+"""
+
+from repro.faults.campaign import FaultConfig, run_chaos_workload
+from repro.registers.catalog import build_client_system
+from repro.triage.bundle import ReproBundle, bundle_from_result
+from repro.triage.replay import execute_bundle
+from repro.triage.shrink import shrink_bundle
+
+MAX_TICKS = 4000
+
+BYZ_UNPROTECTED = FaultConfig(
+    name="byz-unprotected",
+    seed=0,
+    byzantine_count=1,
+    byzantine_roles=("equivocate",),
+    byzantine_budget=0,
+)
+
+
+def _byzantine_failure_bundle() -> ReproBundle:
+    handle = build_client_system(
+        "abd", 5, 1, 6,
+        byzantine_budget=BYZ_UNPROTECTED.resolved_byzantine_budget(),
+    )
+    result = run_chaos_workload(
+        handle, BYZ_UNPROTECTED, num_ops=10, max_ticks=MAX_TICKS
+    )
+    assert not result.safety_ok
+    return bundle_from_result(
+        result, n=5, f=1, value_bits=6, max_ticks=MAX_TICKS,
+        note="unprotected equivocation",
+    )
+
+
+def test_bundle_round_trips_byzantine_config(tmp_path):
+    bundle = _byzantine_failure_bundle()
+    assert bundle.expected.signature() == ("unsafe",)
+    # The builder must rebuild with the same (zero) protocol budget.
+    assert bundle.builder_params["byzantine_budget"] == 0
+    path = tmp_path / "byz.json"
+    bundle.write(str(path))
+    loaded = ReproBundle.load(str(path))
+    assert loaded == bundle
+    assert loaded.fault_config == BYZ_UNPROTECTED
+    assert loaded.fault_config.byzantine_roles == ("equivocate",)
+
+
+def test_replay_reproduces_byzantine_failure():
+    bundle = _byzantine_failure_bundle()
+    outcome = execute_bundle(bundle)
+    assert outcome.matches
+    assert outcome.signature == ("unsafe",)
+
+
+def test_shrink_preserves_signature_and_budget():
+    bundle = _byzantine_failure_bundle()
+    result = shrink_bundle(bundle)
+    minimized = result.minimized
+    assert result.signature == ("unsafe",)
+    # ddmin removes workload/timeline structure only; the Byzantine
+    # band — the failure's cause — must survive minimization intact.
+    assert minimized.fault_config.byzantine_count == 1
+    assert minimized.fault_config.byzantine_roles == ("equivocate",)
+    assert minimized.fault_config.byzantine_budget == 0
+    assert minimized.builder_params["byzantine_budget"] == 0
+    assert len(minimized.workload) <= len(bundle.workload)
+    # And the minimized bundle still reproduces.
+    assert execute_bundle(minimized).matches

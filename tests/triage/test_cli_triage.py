@@ -77,7 +77,7 @@ def _failing_campaign(monkeypatch):
         monkeypatch.setattr(
             campaign_module,
             "generate_fault_configs",
-            lambda f, seeds: [config],
+            lambda f, seeds, byzantine=0: [config],
         )
 
     return rig
