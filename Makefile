@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-tier1 bench bench-core perf-guard examples verify-proofs figure1 chaos byzantine-smoke sweep metrics-smoke shrink-smoke docs-check clean
+.PHONY: install test test-tier1 bench bench-core perf-guard examples verify-proofs figure1 chaos byzantine-smoke sweep metrics-smoke trace-smoke shrink-smoke docs-check clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -72,6 +72,19 @@ metrics-smoke:
 	$(PYTHON) -m repro metrics --algorithm cas -n 5 -f 1 --ops 10 \
 		--json benchmarks/results/metrics_smoke.json
 	$(PYTHON) -m repro profile --algorithm abd -n 5 -f 1 --ops 6
+
+# Tier-2 trace smoke: capture a causally-traced chaos run (repro.trace/1
+# plus the Chrome/Perfetto export), fold a chaos campaign into fleet
+# analytics (repro.analytics/1), and assert the tracing-off overhead
+# budget (<3%) on the core fork/exploration paths.  Artifacts land in
+# benchmarks/results/; every one is byte-identical at any --jobs.
+trace-smoke:
+	$(PYTHON) -m repro trace capture --algorithm abd --shape kitchen-sink \
+		--ops 10 --out benchmarks/results/trace_smoke.json --chrome
+	$(PYTHON) -m repro chaos --algorithms abd cas --n 5 --f 1 --seeds 1 \
+		--ops 6 --jobs 2 --out "" \
+		--analytics benchmarks/results/analytics_smoke.json
+	$(PYTHON) -m pytest tests/perf/test_tracing_overhead.py -q
 
 # Tier-2 triage smoke: rig an ABD safety violation (stale-tags
 # tampering), ddmin-shrink the repro bundle, and assert the minimized

@@ -12,6 +12,12 @@ A fresh factor more than ``THRESHOLD`` (30%) below its baseline is a
 regression: ``main`` exits non-zero and the tier-2 test
 (``tests/perf/test_core_regression.py``) fails.  Refresh the baseline
 with ``make bench-core`` after an intentional performance change.
+
+The guard additionally budgets the *tracing-disabled* overhead on the
+fork and exploration micro-benchmarks at <3%
+(``TRACING_THRESHOLD``): the falsy ``NO_OP`` hook guards must keep an
+uninstrumented run essentially free, baseline or not — this check is
+an absolute in-process ratio, so it needs no committed reference.
 """
 
 from __future__ import annotations
@@ -28,6 +34,12 @@ THRESHOLD = 0.30
 
 #: Record sections whose ``speedup`` entry is guarded.
 GUARDED_SECTIONS = ("fork", "enabled_channels", "exploration", "checker")
+
+#: Maximum tolerated tracing-disabled overhead (absolute ratio).
+TRACING_THRESHOLD = 0.03
+
+#: ``tracing``-section entries held to TRACING_THRESHOLD.
+TRACING_OVERHEADS = ("fork_disabled_overhead", "explore_disabled_overhead")
 
 BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_core.json")
 
@@ -53,6 +65,25 @@ def compare_records(
                 f"{section}: speedup {now}x fell more than "
                 f"{threshold:.0%} below baseline {base}x"
             )
+    failures.extend(tracing_failures(fresh))
+    return failures
+
+
+def tracing_failures(
+    fresh: Dict[str, dict], threshold: float = TRACING_THRESHOLD
+) -> List[str]:
+    """Budget violations of the tracing-off overhead (empty when held)."""
+    section = fresh.get("tracing", {})
+    failures = []
+    for key in TRACING_OVERHEADS:
+        value = section.get(key)
+        if value is None:
+            failures.append(f"tracing: {key} missing from the fresh record")
+        elif value > threshold:
+            failures.append(
+                f"tracing: {key} {value:.1%} exceeds the "
+                f"{threshold:.0%} tracing-off budget"
+            )
     return failures
 
 
@@ -66,12 +97,14 @@ def main() -> int:
             f"  {section}: baseline {baseline[section]['speedup']}x, "
             f"fresh {fresh[section]['speedup']}x"
         )
+    for key in TRACING_OVERHEADS:
+        print(f"  tracing: {key} {fresh['tracing'][key]:.2%}")
     failures = compare_records(baseline, fresh)
     if failures:
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)
         return 1
-    print("perf guard: all core speedups within threshold")
+    print("perf guard: all core speedups and the tracing-off budget hold")
     return 0
 
 

@@ -10,11 +10,20 @@ Commands
 ``assumptions``  audit a write protocol against Theorem 6.5's assumptions
 ``demo``         build a register, run a tiny workload, check consistency
 ``chaos``        adversarial fault-injection campaign over all algorithms
+``trace``        causal event traces: capture / export (Chrome) / slice
 ``replay``       re-execute a repro bundle and assert its recorded verdict
 ``shrink``       ddmin-minimize a repro bundle's fault timeline + workload
 ``metrics``      run an instrumented workload; print/export its telemetry
 ``profile``      per-phase step-count + wall-clock breakdown
 ``sweep``        Section 2 parameter sweeps over the standard grids
+
+``chaos --analyze`` folds per-run telemetry into campaign analytics
+(phase latency percentiles, storage envelopes vs the paper's bounds,
+anomaly flags); ``--analytics PATH`` writes the ``repro.analytics/1``
+JSON artifact.  ``trace capture`` runs a traced chaos workload and
+writes a ``repro.trace/1`` artifact; ``trace export --format chrome``
+converts it to Chrome trace-event JSON loadable in Perfetto /
+``chrome://tracing``.
 
 Parallelism and caching: ``chaos``, ``metrics`` and ``sweep`` accept
 ``--jobs`` (or the ``REPRO_JOBS`` environment variable) to fan
@@ -27,6 +36,7 @@ run cache in ``benchmarks/.cache/`` (``--no-cache`` to bypass,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -241,6 +251,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 3
     progress = (lambda line: print(f"  {line}")) if args.verbose else None
     cache = None if args.no_cache else RunCache(args.cache_dir)
+    # Analytics needs per-run telemetry; triage bundles want trace tails.
+    telemetry = args.analyze or bool(args.analytics) or args.triage
     report = run_campaign(
         algorithms=args.algorithms,
         n=args.n,
@@ -254,8 +266,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         cache=cache,
         fail_fast=args.fail_fast,
         byzantine=args.byzantine,
+        telemetry=telemetry,
     )
     print(report.format())
+    if args.analyze or args.analytics:
+        from repro.obs.analytics import (
+            analyze_campaign, format_analytics, write_analytics,
+        )
+
+        analytics = analyze_campaign(report)
+        if args.analyze:
+            print()
+            print(format_analytics(analytics))
+        if args.analytics:
+            write_analytics(analytics, args.analytics)
+            print(f"\nanalytics written to {args.analytics}")
     if cache is not None:
         print(f"\n{cache.stats_line()}")
     if args.out:
@@ -316,6 +341,100 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
     if args.log:
         write_shrink_log(result, args.log)
         print(f"shrink log written to {args.log}")
+    return 0
+
+
+def _seeded_path(path: str, seed: int) -> str:
+    """``trace.json`` -> ``trace_s<seed>.json`` for multi-seed captures."""
+    if path.endswith(".json"):
+        return f"{path[:-len('.json')]}_s{seed}.json"
+    return f"{path}_s{seed}"
+
+
+def _chrome_path(path: str) -> str:
+    if path.endswith(".json"):
+        return f"{path[:-len('.json')]}.chrome.json"
+    return f"{path}.chrome.json"
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracing import (
+        capture_trace_task,
+        chrome_trace_dict,
+        load_trace,
+        slice_document,
+        write_trace,
+    )
+
+    if args.trace_cmd == "capture":
+        from repro.faults.campaign import FAULT_SHAPES, generate_fault_configs
+        from repro.parallel.pool import run_tasks
+
+        shape_names = [name for name, _ in FAULT_SHAPES]
+        if args.shape not in shape_names:
+            print(
+                f"error: unknown fault shape {args.shape!r} "
+                f"(choose from: {', '.join(shape_names)})"
+            )
+            return 3
+        if args.seeds < 1:
+            print("error: --seeds must be >= 1")
+            return 3
+        seeds = range(args.seed, args.seed + args.seeds)
+        configs = [
+            c
+            for c in generate_fault_configs(args.f, list(seeds))
+            if c.name == args.shape
+        ]
+        payloads = [
+            {
+                "kind": "trace-capture",
+                "algorithm": args.algorithm,
+                "config": c.to_cache_dict(),
+                "n": args.n,
+                "f": args.f,
+                "value_bits": args.value_bits,
+                "num_ops": args.ops,
+                "max_ticks": args.max_ticks,
+            }
+            for c in configs
+        ]
+        docs: list = [None] * len(payloads)
+
+        def collect(index: int, doc: dict) -> None:
+            docs[index] = doc
+
+        run_tasks(capture_trace_task, payloads, jobs=args.jobs, on_result=collect)
+        for config, doc in zip(configs, docs):
+            path = (
+                args.out
+                if len(configs) == 1
+                else _seeded_path(args.out, config.seed)
+            )
+            write_trace(doc, path)
+            print(
+                f"trace written to {path} "
+                f"({len(doc['events'])} events, {len(doc['spans'])} spans, "
+                f"verdict {doc['meta']['verdict']})"
+            )
+            if args.chrome:
+                chrome = _chrome_path(path)
+                write_trace(chrome_trace_dict(doc), chrome)
+                print(f"chrome trace written to {chrome}")
+        return 0
+
+    doc = load_trace(args.trace)
+    if args.trace_cmd == "slice":
+        out_doc = slice_document(doc, args.around, radius=args.radius)
+    elif args.format == "chrome":
+        out_doc = chrome_trace_dict(doc)
+    else:
+        out_doc = doc
+    if args.out:
+        write_trace(out_doc, args.out)
+        print(f"written to {args.out}")
+    else:
+        print(json.dumps(out_doc, sort_keys=True, indent=2))
     return 0
 
 
@@ -652,6 +771,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report path ('' to skip writing)")
     p.add_argument("--json", default="",
                    help="also write the campaign summary as JSON to this path")
+    p.add_argument("--analyze", action="store_true",
+                   help="instrument every run and print campaign analytics "
+                   "(phase latency percentiles, storage envelopes vs bounds, "
+                   "anomaly flags)")
+    p.add_argument("--analytics", default="", metavar="PATH",
+                   help="also write the repro.analytics/1 JSON artifact here "
+                   "(implies run instrumentation)")
     p.add_argument("--verbose", action="store_true", help="per-run progress")
     p.add_argument("--fail-fast", action="store_true",
                    help="stop at the first unacceptable run (serial; the "
@@ -669,6 +795,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default="benchmarks/.cache",
                    help="content-addressed run cache directory")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "trace",
+        help="causal event traces: capture, export to Chrome format, slice",
+    )
+    trace_sub = p.add_subparsers(dest="trace_cmd", required=True)
+
+    tp = trace_sub.add_parser(
+        "capture",
+        help="run a traced chaos workload; write the repro.trace/1 artifact",
+    )
+    tp.add_argument("--algorithm", choices=["abd", "cas", "casgc"],
+                    default="abd")
+    add_nf(tp, n=5, f=1)
+    tp.add_argument("--value-bits", type=int, default=6)
+    tp.add_argument("--shape", default="clean",
+                    help="fault shape name (a FAULT_SHAPES entry, e.g. "
+                    "clean, drops, kitchen-sink)")
+    tp.add_argument("--seed", type=int, default=0, help="first seed")
+    tp.add_argument("--seeds", type=int, default=1,
+                    help="seed count (one trace artifact per seed)")
+    tp.add_argument("--ops", type=int, default=10, help="operations per run")
+    tp.add_argument("--max-ticks", type=int, default=60_000)
+    tp.add_argument("--out", default="benchmarks/results/trace.json",
+                    help="trace path (multi-seed captures append _s<seed>)")
+    tp.add_argument("--chrome", action="store_true",
+                    help="also write the Chrome trace-event conversion "
+                    "(<out>.chrome.json) beside each capture")
+    add_parallel_opts(tp)
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = trace_sub.add_parser(
+        "export", help="convert a repro.trace/1 artifact for viewers"
+    )
+    tp.add_argument("trace", help="path to a repro.trace/1 JSON artifact")
+    tp.add_argument("--format", choices=["chrome", "json"], default="chrome",
+                    help="chrome = trace-event JSON for Perfetto / "
+                    "chrome://tracing; json = the validated document itself")
+    tp.add_argument("--out", default="",
+                    help="output path (default: print to stdout)")
+    tp.set_defaults(func=_cmd_trace)
+
+    tp = trace_sub.add_parser(
+        "slice", help="narrow a trace to a window of steps"
+    )
+    tp.add_argument("trace", help="path to a repro.trace/1 JSON artifact")
+    tp.add_argument("--around", type=int, required=True,
+                    help="center step of the window")
+    tp.add_argument("--radius", type=int, default=50,
+                    help="window half-width in steps")
+    tp.add_argument("--out", default="",
+                    help="output path (default: print to stdout)")
+    tp.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "replay",

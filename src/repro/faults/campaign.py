@@ -39,6 +39,9 @@ from repro.faults.adversary import (
 )
 from repro.faults.recovery import CrashRecoverySchedule
 from repro.faults.watchdog import Diagnosis, LivenessWatchdog
+from repro.obs.analytics import run_telemetry
+from repro.obs.recorder import SimObserver
+from repro.obs.tracing import TraceCollector, TRACE_TAIL_EVENTS
 from repro.parallel.cache import RunCache
 from repro.parallel.fingerprint import code_fingerprint
 from repro.parallel.pool import run_tasks
@@ -418,6 +421,12 @@ class ChaosRunResult:
     workload: Tuple[OpDecision, ...] = ()
     #: The explicit fault schedule this run executed (shrinkable).
     timeline: Optional[FaultTimeline] = None
+    #: Per-run telemetry (phases/storage/counters) from an instrumented
+    #: run (``run_campaign(telemetry=True)``); None when tracing was off.
+    telemetry: Optional[dict] = None
+    #: Bounded causal-trace tail (``TraceEvent.to_json_dict`` rows) —
+    #: the last :data:`~repro.obs.tracing.TRACE_TAIL_EVENTS` events.
+    trace_tail: Tuple[dict, ...] = ()
 
     @property
     def acceptable(self) -> bool:
@@ -485,6 +494,8 @@ class ChaosRunResult:
             "timeline": (
                 None if self.timeline is None else self.timeline.to_json_dict()
             ),
+            "telemetry": self.telemetry,
+            "trace_tail": [dict(e) for e in self.trace_tail],
         }
 
     @classmethod
@@ -529,6 +540,8 @@ class ChaosRunResult:
             timeline=(
                 None if timeline is None else FaultTimeline.from_json_dict(timeline)
             ),
+            telemetry=data.get("telemetry"),
+            trace_tail=tuple(data.get("trace_tail", ())),
         )
 
 
@@ -615,9 +628,15 @@ def run_chaos_workload(
         ):
             adversary.start_partition(partition)
             partition_started = True
+            if world.obs:
+                world.obs.on_partition(
+                    world, timeline.partition_pids, tick=tick
+                )
         if heal_at is not None and not healed and tick >= heal_at:
             adversary.heal_partition()
             healed = True
+            if world.obs:
+                world.obs.on_heal(world, tick=tick)
         if script is not None:
             # Scripted mode: fire each decision at its recorded tick.
             # Under an edited script the world may have diverged and the
@@ -676,7 +695,7 @@ def run_chaos_workload(
     byzantine_detected = sum(
         getattr(world.process(pid), "byz_detected", 0) for pid in clients
     )
-    return ChaosRunResult(
+    result = ChaosRunResult(
         algorithm=handle.algorithm,
         config=config,
         invoked=invoked,
@@ -693,6 +712,21 @@ def run_chaos_workload(
         workload=tuple(decisions),
         timeline=timeline,
     )
+    obs = world.obs
+    if obs:
+        # Verdict counter first, so the telemetry counter snapshot —
+        # and thus the analytics verdict bucketing — includes it.
+        obs.registry.inc("faults.verdict." + result.verdict())
+        result.telemetry = run_telemetry(
+            obs,
+            operations=world.operations,
+            symbol_bits=handle.params.get("symbol_bits"),
+            gc_depth=handle.params.get("gc_depth"),
+        )
+        tracer = getattr(obs, "tracer", None)
+        if tracer:
+            result.trace_tail = tuple(tracer.tail_json())
+    return result
 
 
 # -- the campaign ------------------------------------------------------------
@@ -736,7 +770,14 @@ class CampaignReport:
         "crashes",
         "recoveries",
         "steps",
+        "peak-bits",
     )
+
+    @staticmethod
+    def _peak_bits(r: ChaosRunResult) -> str:
+        """Telemetry-sourced peak storage, "-" for uninstrumented runs."""
+        peak = (r.telemetry or {}).get("storage", {}).get("peak_total_bits")
+        return "-" if peak is None else f"{peak:g}"
 
     def rows(self) -> List[tuple]:
         return [
@@ -755,6 +796,7 @@ class CampaignReport:
                 r.crashes,
                 r.recoveries,
                 r.steps,
+                self._peak_bits(r),
             )
             for r in self.results
         ]
@@ -794,6 +836,10 @@ class CampaignReport:
         ``json.dumps(sort_keys=True)``.
         """
         stalls = [r for r in self.results if not r.live]
+        verdicts: Dict[str, int] = {}
+        for r in self.results:
+            v = r.verdict()
+            verdicts[v] = verdicts.get(v, 0) + 1
         return {
             "schema": "repro.chaos/1",
             "params": {
@@ -810,6 +856,10 @@ class CampaignReport:
                 "diagnosed_stalls": len(stalls),
                 "failures": len(self.failures()),
                 "configs_per_algorithm": self.configs_per_algorithm(),
+                # Uniform safe/degraded/unsafe bucketing: analytics and
+                # external consumers read this instead of re-parsing
+                # report text.
+                "verdicts": {k: verdicts[k] for k in sorted(verdicts)},
             },
             # Triage-ready failure entries: everything needed to rebuild
             # the failing run (seed + full fault config) plus the human
@@ -865,6 +915,11 @@ class CampaignReport:
                     "byzantine_detected": r.byzantine_detected,
                     "steps": r.steps,
                     "acceptable": r.acceptable,
+                    "peak_total_bits": (
+                        (r.telemetry or {})
+                        .get("storage", {})
+                        .get("peak_total_bits")
+                    ),
                 }
                 for r in self.results
             ],
@@ -886,6 +941,10 @@ def _campaign_task(payload: dict) -> dict:
         payload["value_bits"],
         byzantine_budget=config.resolved_byzantine_budget(),
     )
+    if payload.get("telemetry"):
+        handle.world.obs = SimObserver(
+            tracer=TraceCollector(max_events=TRACE_TAIL_EVENTS)
+        )
     result = run_chaos_workload(
         handle, config, payload["num_ops"], payload["max_ticks"]
     )
@@ -900,8 +959,14 @@ def campaign_task_payload(
     value_bits: int,
     num_ops: int,
     max_ticks: int,
+    telemetry: bool = False,
 ) -> dict:
-    """The declarative description of one campaign run."""
+    """The declarative description of one campaign run.
+
+    ``telemetry`` is part of the payload (and hence the cache key):
+    instrumented results carry extra fields, so they must never collide
+    with uninstrumented entries for the same parameters.
+    """
     return {
         "kind": "chaos-run",
         "algorithm": algorithm,
@@ -911,6 +976,7 @@ def campaign_task_payload(
         "value_bits": value_bits,
         "num_ops": num_ops,
         "max_ticks": max_ticks,
+        "telemetry": bool(telemetry),
     }
 
 
@@ -934,12 +1000,19 @@ def run_campaign(
     cache: Optional[RunCache] = None,
     fail_fast: bool = False,
     byzantine: int = 0,
+    telemetry: bool = False,
 ) -> CampaignReport:
     """Run every algorithm under every generated fault config.
 
     ``byzantine > 0`` appends the Byzantine band
     (:data:`BYZANTINE_SHAPES`) with that many corrupt servers per run;
     the built systems defend with the matching protocol budget.
+
+    ``telemetry`` attaches a :class:`~repro.obs.recorder.SimObserver`
+    (with a bounded trace collector) to every run; results then carry
+    ``telemetry``/``trace_tail`` for ``repro chaos --analyze`` and the
+    triage bundles.  Instrumented and plain runs use distinct cache
+    keys, so flipping the flag never serves stale shapes.
 
     ``jobs`` fans independent runs out over a worker pool (default:
     ``REPRO_JOBS`` or serial); results are merged in task order so the
@@ -957,7 +1030,8 @@ def run_campaign(
     configs = generate_fault_configs(f, list(seeds), byzantine)
     tasks = [
         campaign_task_payload(
-            algorithm, config, n, f, value_bits, num_ops, max_ticks
+            algorithm, config, n, f, value_bits, num_ops, max_ticks,
+            telemetry=telemetry,
         )
         for algorithm in algorithms
         for config in configs

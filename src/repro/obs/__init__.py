@@ -15,10 +15,25 @@ Typical use::
     run = run_instrumented_workload(handle, num_ops=10, seed=0)
     print(run.report().format())
 
+Beyond aggregation, :mod:`repro.obs.tracing` records the execution
+itself as a causal event log (``repro.trace/1``, exportable to Chrome
+trace-event JSON for Perfetto), and :mod:`repro.obs.analytics` folds
+per-run telemetry into fleet-wide campaign analytics
+(``repro.analytics/1``).
+
 See ``docs/observability.md`` for the metric catalog, span taxonomy,
-and the JSON report schema.
+the trace-event taxonomy, and the JSON report schemas.
 """
 
+from repro.obs.analytics import (
+    ANALYTICS_SCHEMA,
+    analyze_campaign,
+    format_analytics,
+    max_concurrent_writes,
+    run_telemetry,
+    storage_envelope_bits,
+    write_analytics,
+)
 from repro.obs.recorder import (
     NO_OP,
     NullObserver,
@@ -41,8 +56,20 @@ from repro.obs.runner import (
     run_instrumented_workload,
 )
 from repro.obs.spans import NullSpanTracker, NULL_SPANS, Span, SpanTracker
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    TRACE_TAIL_EVENTS,
+    TraceCollector,
+    TraceEvent,
+    chrome_trace_dict,
+    load_trace,
+    slice_document,
+    trace_document,
+    write_trace,
+)
 
 __all__ = [
+    "ANALYTICS_SCHEMA",
     "Counter",
     "Gauge",
     "Histogram",
@@ -59,8 +86,23 @@ __all__ = [
     "SimObserver",
     "Span",
     "SpanTracker",
+    "TRACE_SCHEMA",
+    "TRACE_TAIL_EVENTS",
+    "TraceCollector",
+    "TraceEvent",
+    "analyze_campaign",
+    "chrome_trace_dict",
     "estimate_message_bits",
+    "format_analytics",
+    "load_trace",
+    "max_concurrent_writes",
     "profile_table",
     "run_instrumented_workload",
+    "run_telemetry",
+    "slice_document",
     "storage_bound_rows",
+    "storage_envelope_bits",
+    "trace_document",
+    "write_analytics",
+    "write_trace",
 ]

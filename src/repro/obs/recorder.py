@@ -78,10 +78,36 @@ class NullObserver:
     def __copy__(self) -> "NullObserver":
         return self
 
+    tracer = None
+
     def on_send(self, world, src: str, dst: str, message) -> None:
         """No-op."""
 
     def on_action(self, world, record) -> None:
+        """No-op."""
+
+    def on_deliver(self, world, src: str, dst: str, message, record) -> None:
+        """No-op."""
+
+    def on_drop(self, world, src: str, dst: str, message) -> None:
+        """No-op."""
+
+    def on_crashed_drop(self, world, src: str, dst: str, message) -> None:
+        """No-op."""
+
+    def on_duplicate(self, world, src: str, dst: str, message) -> None:
+        """No-op."""
+
+    def on_reorder(self, world, src: str, dst: str, message, index: int) -> None:
+        """No-op."""
+
+    def on_tamper(self, world, src: str, dst: str, message, tampered) -> None:
+        """No-op."""
+
+    def on_partition(self, world, pids, tick=None) -> None:
+        """No-op."""
+
+    def on_heal(self, world, tick=None) -> None:
         """No-op."""
 
     def begin_op(self, record) -> None:
@@ -126,6 +152,11 @@ class SimObserver:
     record_wall:
         Forwarded to the span tracker; enables wall-clock capture for
         ``repro profile``.  Leave False for deterministic artifacts.
+    tracer:
+        Optional :class:`~repro.obs.tracing.TraceCollector`; when set,
+        every hook additionally emits a causally-annotated
+        :class:`~repro.obs.tracing.TraceEvent`.  ``None`` (the default)
+        keeps tracing off at the cost of one truth test per hook.
     """
 
     enabled = True
@@ -136,10 +167,12 @@ class SimObserver:
         spans: Optional[SpanTracker] = None,
         sample_storage: bool = True,
         record_wall: bool = False,
+        tracer=None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.spans = spans if spans is not None else SpanTracker(record_wall=record_wall)
         self.sample_storage = sample_storage
+        self.tracer = tracer
 
     def __bool__(self) -> bool:
         return True
@@ -154,6 +187,8 @@ class SimObserver:
         reg.inc("sim.message_bits_sent", bits)
         reg.inc(f"sim.sent.{message.kind}")
         reg.histogram("sim.message_bits").observe(bits)
+        if self.tracer:
+            self.tracer.on_send(world.step_count, src, dst, message)
 
     def on_action(self, world, record) -> None:
         """Record one executed action (the simulator just took a step)."""
@@ -181,11 +216,76 @@ class SimObserver:
             reg.gauge("storage.max_server_bits").set(max_bits)
             reg.timeseries("storage.total_bits").record(step, total_bits)
             reg.timeseries("storage.max_server_bits").record(step, max_bits)
+            if self.tracer:
+                self.tracer.on_storage(step, total_bits, max_bits)
 
         adversary = getattr(world, "adversary", None)
         if adversary is not None:
             reg.gauge("faults.partitions_started").set(adversary.partitions_started)
             reg.gauge("faults.heals").set(adversary.heals)
+
+        if record.kind == "crash":
+            self.spans.note_crash(record.src, step)
+            if self.tracer:
+                self.tracer.on_crash(step, record.src)
+        elif record.kind == "recover" and self.tracer:
+            self.tracer.on_recover(step, record.src)
+
+    # -- fault hooks (called by World.deliver / the chaos driver) ------------
+
+    def on_deliver(self, world, src: str, dst: str, message, record) -> None:
+        """A message reached its receiver (trace-only; counters come
+        from :meth:`on_action` via the ``deliver`` action record)."""
+        if self.tracer:
+            self.tracer.on_deliver(record.step, src, dst, message)
+
+    def on_drop(self, world, src: str, dst: str, message) -> None:
+        """The adversary lost a message in transit."""
+        self.registry.inc("faults.drops")
+        if self.tracer:
+            self.tracer.on_drop(world.step_count + 1, src, dst, message)
+
+    def on_crashed_drop(self, world, src: str, dst: str, message) -> None:
+        """A message was consumed because its receiver is crashed."""
+        self.registry.inc("faults.crashed_receiver_drops")
+        if self.tracer:
+            self.tracer.on_crashed_drop(world.step_count + 1, src, dst, message)
+
+    def on_duplicate(self, world, src: str, dst: str, message) -> None:
+        """The adversary re-enqueued a duplicate before delivering."""
+        self.registry.inc("faults.duplicates")
+        if self.tracer:
+            self.tracer.on_duplicate(world.step_count + 1, src, dst, message)
+
+    def on_reorder(self, world, src: str, dst: str, message, index: int) -> None:
+        """The adversary delivered a non-head message."""
+        self.registry.inc("faults.reorders")
+        if self.tracer:
+            self.tracer.on_reorder(world.step_count + 1, src, dst, message, index)
+
+    def on_tamper(self, world, src: str, dst: str, message, tampered) -> None:
+        """The adversary replaced a message with a corrupted copy."""
+        self.registry.inc("faults.tampers")
+        kind = getattr(world.adversary, "last_corruption", "")
+        if kind.startswith("byzantine:"):
+            self.registry.inc("faults.byzantine.corruptions")
+            self.registry.inc(f"faults.byzantine.{kind.split(':', 1)[1]}")
+        if self.tracer:
+            self.tracer.on_tamper(
+                world.step_count + 1, src, dst, message, tampered, kind
+            )
+
+    def on_partition(self, world, pids, tick=None) -> None:
+        """The chaos driver cut a partition isolating ``pids``."""
+        self.registry.inc("faults.partition_cuts")
+        if self.tracer:
+            self.tracer.on_partition(world.step_count, tuple(pids), tick=tick)
+
+    def on_heal(self, world, tick=None) -> None:
+        """The chaos driver healed the active partition."""
+        self.registry.inc("faults.partition_heals")
+        if self.tracer:
+            self.tracer.on_heal(world.step_count, tick=tick)
 
     # -- operation lifecycle -------------------------------------------------
 
@@ -195,6 +295,8 @@ class SimObserver:
         self.spans.begin(
             record.client, f"op/{record.kind}", record.invoke_step, op_id=record.op_id
         )
+        if self.tracer:
+            self.tracer.on_invoke(record.invoke_step, record)
 
     def end_op(self, record) -> None:
         """A client operation completed; close its span, record latency."""
@@ -202,16 +304,24 @@ class SimObserver:
         self.spans.end(record.client, f"op/{record.kind}", record.response_step)
         latency = record.response_step - record.invoke_step
         self.registry.histogram(f"ops.latency_steps.{record.kind}").observe(latency)
+        if self.tracer:
+            self.tracer.on_response(record.response_step, record)
 
     # -- phase spans (called from register protocol code) --------------------
 
     def begin_span(self, owner: str, name: str, step: int, op_id=None):
         """Open a protocol-phase span (e.g. ``write/query``) for ``owner``."""
-        return self.spans.begin(owner, name, step, op_id=op_id)
+        span = self.spans.begin(owner, name, step, op_id=op_id)
+        if self.tracer:
+            self.tracer.on_phase_begin(step, owner, name, span)
+        return span
 
     def end_span(self, owner: str, name: str, step: int):
         """Close ``owner``'s innermost open span named ``name``."""
-        return self.spans.end(owner, name, step)
+        span = self.spans.end(owner, name, step)
+        if self.tracer:
+            self.tracer.on_phase_end(step, owner, name, span)
+        return span
 
     def __repr__(self) -> str:
         return f"SimObserver({self.registry!r}, {self.spans!r})"

@@ -92,6 +92,10 @@ class SpanTracker:
         self.record_wall = record_wall
         self.spans: List[Span] = []
         self.unmatched_ends: List[dict] = []
+        #: Spans that were open when their owner crashed (see
+        #: :meth:`note_crash`): ``{"owner", "name", "span_id",
+        #: "crash_step"}`` records, in crash order.
+        self.crash_orphans: List[dict] = []
         self._owners: Dict[str, _OwnerState] = {}
         self._next_id = 0
 
@@ -140,6 +144,30 @@ class SpanTracker:
                     return span
         self.unmatched_ends.append({"owner": owner, "name": name, "step": step})
         return None
+
+    def note_crash(self, owner: str, step: int) -> List[Span]:
+        """Record ``owner``'s open spans as crash orphans at ``step``.
+
+        Called by the observer when a process crashes.  The spans stay
+        *open* (a recovered process may legitimately end them later);
+        the :attr:`crash_orphans` entries make the interruption visible
+        to reports instead of silently dropping the phase.  Returns the
+        spans that were open at the crash.
+        """
+        state = self._owners.get(owner)
+        if state is None:
+            return []
+        orphans = list(state.stack)
+        for span in orphans:
+            self.crash_orphans.append(
+                {
+                    "owner": owner,
+                    "name": span.name,
+                    "span_id": span.span_id,
+                    "crash_step": step,
+                }
+            )
+        return orphans
 
     def open_spans(self) -> List[Span]:
         """Spans begun but never ended (orphans), in begin order."""
@@ -202,6 +230,7 @@ class NullSpanTracker:
     record_wall = False
     spans: List[Span] = []
     unmatched_ends: List[dict] = []
+    crash_orphans: List[dict] = []
 
     def __bool__(self) -> bool:
         return False
@@ -219,6 +248,10 @@ class NullSpanTracker:
     def end(self, owner, name, step):
         """No-op; returns None."""
         return None
+
+    def note_crash(self, owner, step) -> list:
+        """No-op; returns []."""
+        return []
 
     def open_spans(self) -> list:
         """Always empty."""

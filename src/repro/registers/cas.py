@@ -134,16 +134,23 @@ class CASServer(ServerProcess):
         doomed = [
             t for t in self.store if self._tag_key(t) < cutoff_key
         ]
+        notified = 0
         for t in doomed:
             del self.store[t]
             for reader, ref in self.pending_readers.pop(t, []):
                 ctx.send(reader, Message.make("read-gc", ref=ref, tag=t))
+                notified += 1
         if doomed:
             floor = max(doomed, key=self._tag_key)
             if self.gc_floor is None or self._tag_key(floor) > self._tag_key(
                 self.gc_floor
             ):
                 self.gc_floor = floor
+            if ctx.obs:
+                ctx.obs.registry.inc("casgc.gc.prunes")
+                ctx.obs.registry.inc("casgc.gc.records_pruned", len(doomed))
+                if notified:
+                    ctx.obs.registry.inc("casgc.gc.reader_notices", notified)
 
     # -- protocol -----------------------------------------------------------
 
@@ -467,7 +474,9 @@ class CASReadClient(ClientProcess):
             if ctx.obs:
                 ctx.obs.end_span(self.pid, "read/collect", ctx.step)
                 ctx.obs.registry.inc("cas.read_gc_retries")
-            self._start_query(ctx)
+            # Keep the retried query attributed to the same operation,
+            # so per-op phase breakdowns include GC-forced re-queries.
+            self._start_query(ctx, op_id=self.pending_op_id)
 
     def _try_validated_decode(self, ctx: ProcessContext) -> Optional[int]:
         """Decode a ``k``-subset whose codeword explains ``>= k + b`` of

@@ -244,43 +244,40 @@ class World:
         if not channel:
             raise SimulationError(f"channel {src}->{dst} is empty")
         adversary = self.adversary
+        obs = self.obs
         if adversary is not None:
             index = adversary.pick_index((src, dst), len(channel))
             message = channel.dequeue_at(index)
-            if index > 0 and self.obs:
-                self.obs.registry.inc("faults.reorders")
+            if index > 0 and obs:
+                obs.on_reorder(self, src, dst, message, index)
         else:
             message = channel.dequeue()
         receiver = self.process(dst)
         if receiver.failed:
-            if self.obs:
-                self.obs.registry.inc("faults.crashed_receiver_drops")
+            if obs:
+                obs.on_crashed_drop(self, src, dst, message)
             return self._record("drop", src, dst, message.kind)
         if adversary is not None:
             fate = adversary.fate(src, dst, message)
             if fate == "drop":
-                if self.obs:
-                    self.obs.registry.inc("faults.drops")
+                if obs:
+                    obs.on_drop(self, src, dst, message)
                 return self._record("lose", src, dst, message.kind)
             if fate == "duplicate":
                 # Message is immutable, so the copy may be shared.
                 channel.enqueue(message)
-                if self.obs:
-                    self.obs.registry.inc("faults.duplicates")
+                if obs:
+                    obs.on_duplicate(self, src, dst, message)
             # Rigged or Byzantine adversaries may hand the receiver a
             # tampered copy (the honest transform is the identity).
             tampered = adversary.transform(src, dst, message)
             if tampered is not message:
-                if self.obs:
-                    self.obs.registry.inc("faults.tampers")
-                    kind = getattr(adversary, "last_corruption", "")
-                    if kind.startswith("byzantine:"):
-                        self.obs.registry.inc("faults.byzantine.corruptions")
-                        self.obs.registry.inc(
-                            f"faults.byzantine.{kind.split(':', 1)[1]}"
-                        )
+                if obs:
+                    obs.on_tamper(self, src, dst, message, tampered)
                 message = tampered
         record = self._record("deliver", src, dst, message.kind)
+        if obs:
+            obs.on_deliver(self, src, dst, message, record)
         receiver.on_message(ProcessContext(self, dst), src, message)
         return record
 
@@ -488,8 +485,12 @@ class World:
             None if self.adversary is None else self.adversary.clone()
         )
         # A real observer is deep-copied (it may hold mutable metric
-        # state); the NullObserver singleton copies to itself for free.
-        clone.obs = copy.deepcopy(self.obs)
+        # state).  A falsy observer (the NullObserver singleton, None)
+        # is shared directly: NO_OP deep-copies to itself anyway, and
+        # skipping the deepcopy protocol dispatch keeps the
+        # uninstrumented fork path free (guarded by the perf guard's
+        # tracing-off budget).
+        clone.obs = copy.deepcopy(self.obs) if self.obs else self.obs
         clone.processes = {
             pid: process.clone() for pid, process in self.processes.items()
         }

@@ -106,6 +106,10 @@ class ReproBundle:
     #: Code fingerprint of the tree that emitted the bundle.
     fingerprint: str = ""
     note: str = ""
+    #: Bounded causal-trace tail from the failing run (the newest
+    #: :data:`~repro.obs.tracing.TRACE_TAIL_EVENTS` TraceEvent dicts) —
+    #: context for humans, never consulted by replay/shrink.
+    trace_tail: Tuple[dict, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("chaos", "explore"):
@@ -138,6 +142,7 @@ class ReproBundle:
             "fingerprint": self.fingerprint,
             "expected": self.expected.to_json_dict(),
             "note": self.note,
+            "trace_tail": [dict(e) for e in self.trace_tail],
         }
 
     @classmethod
@@ -167,6 +172,7 @@ class ReproBundle:
             fingerprint=data.get("fingerprint", ""),
             expected=ExpectedVerdict.from_json_dict(data["expected"]),
             note=data.get("note", ""),
+            trace_tail=tuple(data.get("trace_tail", ())),
         )
 
     def write(self, path: str) -> None:
@@ -216,6 +222,8 @@ class ReproBundle:
         lines.append(f"workload: {len(self.workload)} ops")
         if self.schedule:
             lines.append(f"schedule: {len(self.schedule)} deliveries")
+        if self.trace_tail:
+            lines.append(f"trace tail: {len(self.trace_tail)} events")
         return lines
 
 
@@ -257,6 +265,7 @@ def bundle_from_result(
         timeline=result.timeline,
         max_ticks=max_ticks,
         fingerprint=code_fingerprint(),
+        trace_tail=tuple(result.trace_tail),
         expected=ExpectedVerdict(
             safety_ok=result.safety_ok,
             verdict=result.verdict(),

@@ -40,11 +40,12 @@ def replay_task_payload(bundle: ReproBundle) -> dict:
     """The declarative description of one bundle replay.
 
     Only behavioral fields participate: the recorded fingerprint, the
-    note, and the expected verdict don't change what executes, so they
-    are excluded — a re-noted bundle replays from cache.
+    note, the expected verdict and the attached trace tail don't change
+    what executes, so they are excluded — a re-noted bundle replays
+    from cache.
     """
     doc = bundle.to_json_dict()
-    for key in ("fingerprint", "note", "expected"):
+    for key in ("fingerprint", "note", "expected", "trace_tail"):
         doc.pop(key, None)
     doc["task"] = "bundle-replay"
     return doc

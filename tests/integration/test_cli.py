@@ -29,6 +29,12 @@ class TestParser:
             ["chaos", "--cache-dir", "/tmp/somewhere"],
             ["sweep"],
             ["sweep", "--jobs", "2", "--no-cache", "--out", "s.txt"],
+            ["chaos", "--analyze"],
+            ["chaos", "--analytics", "a.json"],
+            ["trace", "capture", "--algorithm", "cas", "--shape", "drops"],
+            ["trace", "capture", "--seeds", "3", "--chrome", "--jobs", "2"],
+            ["trace", "export", "t.json", "--format", "chrome"],
+            ["trace", "slice", "t.json", "--around", "100", "--radius", "20"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -213,6 +219,71 @@ class TestObservabilityCommands:
             "--no-cache",
         ]) == 0
         assert "cache:" not in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_capture_export_slice_round_trip(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main([
+            "trace", "capture", "--algorithm", "abd", "-n", "5", "-f", "1",
+            "--shape", "clean", "--ops", "4", "--max-ticks", "4000",
+            "--out", str(trace), "--chrome",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert "verdict live" in out
+
+        doc = json.loads(trace.read_text())
+        assert doc["schema"] == "repro.trace/1"
+        assert doc["events"] and doc["spans"]
+
+        # export --format chrome reproduces the capture-time sidecar.
+        chrome_sidecar = tmp_path / "trace.chrome.json"
+        exported = tmp_path / "exported.json"
+        assert main([
+            "trace", "export", str(trace), "--out", str(exported),
+        ]) == 0
+        capsys.readouterr()
+        assert exported.read_bytes() == chrome_sidecar.read_bytes()
+
+        # A slice is itself a valid trace document.
+        around = doc["events"][len(doc["events"]) // 2]["step"]
+        sliced = tmp_path / "slice.json"
+        assert main([
+            "trace", "slice", str(trace), "--around", str(around),
+            "--radius", "10", "--out", str(sliced),
+        ]) == 0
+        capsys.readouterr()
+        piece = json.loads(sliced.read_text())
+        assert piece["schema"] == "repro.trace/1"
+        assert piece["meta"]["slice"] == {"around": around, "radius": 10}
+        assert len(piece["events"]) <= len(doc["events"])
+
+    def test_capture_rejects_unknown_shape(self, capsys):
+        assert main([
+            "trace", "capture", "--shape", "nonsense",
+        ]) == 3
+        assert "unknown fault shape" in capsys.readouterr().out
+
+    def test_chaos_analyze(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "analytics.json"
+        assert main([
+            "chaos", "--algorithms", "abd", "-n", "5", "-f", "1",
+            "--seeds", "1", "--ops", "4", "--out", "",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--analyze", "--analytics", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign analytics" in out
+        assert f"analytics written to {path}" in out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.analytics/1"
+        assert doc["telemetry_runs"] == doc["runs"] > 0
+        assert "abd" in doc["algorithms"]
 
 
 class TestParallelCommands:

@@ -1,0 +1,24 @@
+"""Tier-2 budget check: tracing must be free when disabled.
+
+Runs only the ``tracing`` section of the core benchmark and asserts the
+disabled-tracing overhead on the fork and exploration paths stays under
+the 3% perf-guard budget — the falsy ``NO_OP`` hook guards are the only
+cost an uninstrumented run may pay.  Marked ``tier2`` (several seconds
+of timed wall clock); exercised by ``make trace-smoke`` and folded into
+``make perf-guard`` via :func:`benchmarks.perf_guard.compare_records`.
+"""
+
+import pytest
+
+from benchmarks.bench_core import bench_tracing as run_tracing_bench
+from benchmarks.perf_guard import tracing_failures
+
+pytestmark = pytest.mark.tier2
+
+
+def test_tracing_disabled_overhead_under_budget():
+    section = run_tracing_bench()
+    failures = tracing_failures({"tracing": section})
+    assert not failures, "; ".join(failures)
+    # The enabled collector does real work; sanity-check it still forks.
+    assert section["fork_traced_per_s"] > 0
