@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-tier1 bench bench-core perf-guard examples verify-proofs figure1 chaos byzantine-smoke sweep metrics-smoke trace-smoke shrink-smoke docs-check clean
+.PHONY: install test test-tier1 bench bench-core bench-parallel campaign-scale perf-guard examples verify-proofs figure1 chaos byzantine-smoke sweep metrics-smoke trace-smoke shrink-smoke docs-check clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,9 +22,29 @@ bench:
 bench-core:
 	$(PYTHON) -m benchmarks.bench_core
 
+# Parallel-engine record: jobs-scaling curve, chunk ablation, legacy-
+# vs-persistent engine comparison, dispatch microbench, byte-identity
+# and warm-cache invariants.  Rewrites the measurement sections of
+# benchmarks/results/BENCH_parallel.json (the campaign_scale section
+# from `make campaign-scale` is preserved).
+bench-parallel:
+	$(PYTHON) -m benchmarks.bench_parallel
+
+# Fleet scale: a 10,000-run chaos campaign (1000 seeds x the 10-shape
+# fault grid, ABD) plus the full empirical Figure-1 sweep (N=21, f=10),
+# both through the persistent pool at one worker per CPU.  Asserts the
+# campaign contract on every run and records wall clock + per-run cost
+# in the campaign_scale section of BENCH_parallel.json.  Tier-2; also
+# wrapped by tests/perf/test_parallel_regression.py at smoke size.
+campaign-scale:
+	$(PYTHON) -m benchmarks.bench_campaign_scale
+
 # Fail (exit 1) if any core speedup factor fell more than 30% below
-# the committed BENCH_core.json baseline.  Also runs as a tier-2 test
-# (tests/perf/test_core_regression.py), excluded from tier-1.
+# the committed BENCH_core.json baseline, or if the parallel engine
+# breaks its gates (byte-identity, warm-cache zero runs, dispatch and
+# engine speedup floors, CPU-tiered jobs speedup).  Also runs as
+# tier-2 tests (tests/perf/test_core_regression.py and
+# tests/perf/test_parallel_regression.py), excluded from tier-1.
 perf-guard:
 	$(PYTHON) -m benchmarks.perf_guard
 

@@ -1,29 +1,124 @@
-"""E17 — Parallel runner: byte-determinism plus measured speedup.
+"""E17 — Parallel engine: byte-determinism plus a realistic speedup record.
 
-Runs the same small chaos campaign serially and on 4 workers (cache
-disabled so both passes really execute), asserts the report text and
-the ``repro.chaos/1`` JSON are byte-identical, and records both wall
-clocks in ``BENCH_parallel.json``.  Speedup is a *measurement*, not an
-assertion — on a single-CPU container process overhead makes it ~1×,
-and the contract this bench guards is correctness, not throughput.
+The workload is a real chaos campaign of several hundred runs (three
+algorithms, the full ten-shape fault grid, seven seeds) — large enough
+that the spawn-per-call engine this bench retired was measurably
+*slower* than serial (BENCH_parallel.json recorded speedup 0.538).
 
-A second pass through a fresh cache directory then checks the other
-acceptance property: a warm rerun executes zero simulator runs and
-still reproduces the identical report.
+Four measurements land in ``BENCH_parallel.json``:
+
+* **jobs-scaling curve** — campaign wall clock at jobs ∈ {1, 2, 4, 8},
+  with the headline ``speedup`` = serial / best parallel.  On a
+  multi-CPU host this exceeds 1 (the perf guard demands > 1.5 at ≥ 4
+  CPUs); on a 1-CPU container it records the engine's overhead bound
+  instead — beating serial there is physically impossible.
+* **chunk ablation** — the same campaign at jobs=4 with chunk ∈
+  {1, 8, auto}, showing what chunked dispatch buys over per-task IPC.
+* **engine comparison** — the identical campaign pushed through the
+  *legacy* spawn-a-``Pool``-per-call engine (reimplemented here,
+  verbatim) vs the persistent pool, same job count.  This is the
+  before/after ratio the perf guard pins, machine-independent in the
+  same way BENCH_core's factors are.
+* **dispatch microbench** — hundreds of trivial tasks, legacy vs
+  persistent+chunked, isolating pure dispatch cost from simulation.
+
+Byte-identity is asserted at every measured job count and chunk size,
+and a warm-cache pass must execute zero simulator runs while
+reproducing the identical report — the two hard invariants.
+
+``python -m benchmarks.bench_parallel`` rewrites the record (the
+committed ``campaign_scale`` section from ``make campaign-scale`` is
+preserved); ``benchmarks.perf_guard`` gates on a fresh run.
 """
 
 import json
+import multiprocessing
+import os
 import tempfile
 import time
 
+import repro.faults.campaign as campaign_mod
 from repro.faults.campaign import run_campaign
-from repro.parallel import RunCache
+from repro.parallel import RunCache, resolve_jobs, shutdown_pool
+from repro.parallel.pool import _pool_context, get_pool
 
-from benchmarks.common import write_perf_record
+from benchmarks.common import RESULTS_DIR, write_perf_record
 
+#: The realistic workload: 3 algorithms x 10 fault shapes x 7 seeds =
+#: 210 runs — the scale at which dispatch cost decided the old engine's
+#: fate.  Cache always disabled so every pass really executes.
 PARAMS = dict(
-    algorithms=("abd", "cas"), n=5, f=1, value_bits=6, seeds=[0, 1], num_ops=4
+    algorithms=("abd", "cas", "casgc"),
+    n=5,
+    f=1,
+    value_bits=6,
+    seeds=list(range(7)),
+    num_ops=4,
 )
+
+#: Job counts of the scaling curve (1 is the serial reference).
+JOBS_CURVE = (1, 2, 4, 8)
+
+#: Chunk sizes of the ablation (0 = auto), all at jobs=4.
+CHUNK_ABLATION = (1, 8, 0)
+
+#: Task count of the pure-dispatch microbench.
+DISPATCH_TASKS = 400
+
+
+# -- the legacy engine, kept verbatim for the before/after ratio -------------
+
+
+def _legacy_call_indexed(item):
+    """Worker-side shim of the retired engine: one task per IPC round."""
+    fn, index, payload = item
+    return index, fn(payload)
+
+
+def _legacy_run_tasks(fn, payloads, jobs=None, on_result=None, chunk=None):
+    """The retired spawn-a-``Pool``-per-call engine (measurement only).
+
+    Fresh pool per invocation, one full payload pickled per task, no
+    chunking — exactly the implementation BENCH_parallel.json's 0.538
+    record measured.  ``chunk`` is accepted (and ignored) so this can
+    stand in for the new engine at any call site.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    workers = min(resolve_jobs(jobs), len(payloads))
+    if workers <= 1:
+        results = []
+        for index, payload in enumerate(payloads):
+            result = fn(payload)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+    pool = _pool_context().Pool(processes=workers)
+    slots = [None] * len(payloads)
+    completed = {}
+    next_emit = 0
+    try:
+        tasks = [(fn, index, payload) for index, payload in enumerate(payloads)]
+        for index, result in pool.imap_unordered(_legacy_call_indexed, tasks):
+            slots[index] = result
+            completed[index] = True
+            while on_result is not None and next_emit in completed:
+                on_result(next_emit, slots[next_emit])
+                next_emit += 1
+    finally:
+        pool.close()
+        pool.join()
+    return slots
+
+
+def _dispatch_task(payload: dict) -> int:
+    """A near-free task: measures dispatch cost, not compute."""
+    return payload["i"]
+
+
+# -- measurement helpers -----------------------------------------------------
 
 
 def _timed_campaign(**kwargs):
@@ -32,36 +127,152 @@ def _timed_campaign(**kwargs):
     return report, time.perf_counter() - start
 
 
-def bench_parallel_campaign(benchmark):
-    serial, serial_wall = _timed_campaign(jobs=1, **PARAMS)
-    parallel, parallel_wall = benchmark.pedantic(
-        lambda: _timed_campaign(jobs=4, **PARAMS), rounds=1, iterations=1
-    )
+def _timed_legacy_campaign(**kwargs):
+    """The same campaign routed through the legacy engine."""
+    original = campaign_mod.run_tasks
+    campaign_mod.run_tasks = _legacy_run_tasks
+    try:
+        return _timed_campaign(**kwargs)
+    finally:
+        campaign_mod.run_tasks = original
 
-    text_serial, text_parallel = serial.format(), parallel.format()
-    assert text_parallel == text_serial  # byte-identical at any job count
+
+def _dispatch_payloads():
+    # A shared context dict of campaign-ish size, so the legacy engine
+    # pays realistic per-task pickling while the codec ships it once
+    # per chunk.
+    context = {f"param_{k}": k * 1.5 for k in range(40)}
+    return [dict(context, i=i) for i in range(DISPATCH_TASKS)]
+
+
+def run_parallel_bench() -> dict:
+    """Execute every measurement; return the BENCH_parallel record."""
+    serial, serial_wall = _timed_campaign(jobs=1, **PARAMS)
+    text_serial = serial.format()
     json_serial = json.dumps(serial.to_json_dict(), sort_keys=True)
-    json_parallel = json.dumps(parallel.to_json_dict(), sort_keys=True)
-    assert json_parallel == json_serial
+
+    # Warm the persistent pool before timing it, so pool creation (paid
+    # once per process, amortized across every later call) is not
+    # charged to the first measured campaign.
+    get_pool(max(JOBS_CURVE))
+
+    byte_identical = True
+    jobs_scaling = [
+        {"jobs": 1, "wall_seconds": round(serial_wall, 4), "speedup": 1.0}
+    ]
+    walls = {1: serial_wall}
+    for jobs in JOBS_CURVE[1:]:
+        report, wall = _timed_campaign(jobs=jobs, **PARAMS)
+        byte_identical &= report.format() == text_serial
+        byte_identical &= (
+            json.dumps(report.to_json_dict(), sort_keys=True) == json_serial
+        )
+        walls[jobs] = wall
+        jobs_scaling.append(
+            {
+                "jobs": jobs,
+                "wall_seconds": round(wall, 4),
+                "speedup": round(serial_wall / max(wall, 1e-9), 3),
+            }
+        )
+    best_jobs = min(walls, key=lambda j: walls[j] if j > 1 else float("inf"))
+    parallel_wall = walls[best_jobs]
+
+    chunk_ablation = []
+    for chunk in CHUNK_ABLATION:
+        report, wall = _timed_campaign(jobs=4, chunk=chunk, **PARAMS)
+        byte_identical &= report.format() == text_serial
+        chunk_ablation.append(
+            {
+                "chunk": "auto" if chunk == 0 else chunk,
+                "jobs": 4,
+                "wall_seconds": round(wall, 4),
+            }
+        )
+
+    legacy, legacy_wall = _timed_legacy_campaign(jobs=4, **PARAMS)
+    byte_identical &= legacy.format() == text_serial
+    pooled_wall = walls[4]
+
+    # Pure dispatch: the persistent pool is warm, the legacy engine
+    # spawns per call — both run the identical trivial task list.
+    from repro.parallel.pool import run_tasks as pooled_run_tasks
+
+    payloads = _dispatch_payloads()
+    expected = list(range(DISPATCH_TASKS))
+    start = time.perf_counter()
+    legacy_results = _legacy_run_tasks(_dispatch_task, payloads, jobs=4)
+    dispatch_legacy = time.perf_counter() - start
+    start = time.perf_counter()
+    pooled_results = pooled_run_tasks(_dispatch_task, payloads, jobs=4)
+    dispatch_pooled = time.perf_counter() - start
+    byte_identical &= legacy_results == expected and pooled_results == expected
 
     with tempfile.TemporaryDirectory() as cache_dir:
         cache = RunCache(cache_dir)
         first, _ = _timed_campaign(jobs=1, cache=cache, **PARAMS)
         warm = RunCache(cache_dir)
         warm_report, warm_wall = _timed_campaign(jobs=1, cache=warm, **PARAMS)
-        assert warm.hits == len(first.results) and warm.stores == 0
-        assert warm_report.format() == text_serial
+        warm_zero_runs = warm.hits == len(first.results) and warm.stores == 0
+        byte_identical &= warm_report.format() == text_serial
 
-    write_perf_record(
-        "parallel",
-        {
-            "params": {k: list(v) if isinstance(v, tuple) else v
-                       for k, v in PARAMS.items()},
-            "runs": len(serial.results),
-            "serial_wall_seconds": round(serial_wall, 4),
-            "parallel_wall_seconds": round(parallel_wall, 4),
-            "speedup": round(serial_wall / max(parallel_wall, 1e-9), 3),
-            "warm_cache_wall_seconds": round(warm_wall, 4),
-            "byte_identical": text_parallel == text_serial,
+    record = {
+        "cpus": os.cpu_count() or 1,
+        "params": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in PARAMS.items()},
+        "runs": len(serial.results),
+        "serial_wall_seconds": round(serial_wall, 4),
+        "parallel_wall_seconds": round(parallel_wall, 4),
+        "speedup": round(serial_wall / max(parallel_wall, 1e-9), 3),
+        "jobs_scaling": jobs_scaling,
+        "chunk_ablation": chunk_ablation,
+        "engine": {
+            "jobs": 4,
+            "legacy_wall_seconds": round(legacy_wall, 4),
+            "pooled_wall_seconds": round(pooled_wall, 4),
+            "speedup": round(legacy_wall / max(pooled_wall, 1e-9), 3),
         },
-    )
+        "dispatch": {
+            "tasks": DISPATCH_TASKS,
+            "legacy_wall_seconds": round(dispatch_legacy, 4),
+            "pooled_wall_seconds": round(dispatch_pooled, 4),
+            "speedup": round(dispatch_legacy / max(dispatch_pooled, 1e-9), 3),
+        },
+        "warm_cache_wall_seconds": round(warm_wall, 4),
+        "warm_cache_zero_runs": warm_zero_runs,
+        "byte_identical": bool(byte_identical),
+    }
+    return record
+
+
+def write_parallel_record(record: dict) -> str:
+    """Persist the record, preserving a committed campaign_scale section."""
+    path = os.path.join(RESULTS_DIR, "BENCH_parallel.json")
+    try:
+        with open(path) as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        previous = {}
+    if "campaign_scale" in previous and "campaign_scale" not in record:
+        record = dict(record, campaign_scale=previous["campaign_scale"])
+    return write_perf_record("parallel", record)
+
+
+def bench_parallel_campaign(benchmark):
+    record = benchmark.pedantic(run_parallel_bench, rounds=1, iterations=1)
+    assert record["byte_identical"]  # byte-identical at any jobs and chunk
+    assert record["warm_cache_zero_runs"]  # warm cache = zero simulator work
+    write_parallel_record(record)
+
+
+def main() -> int:
+    record = run_parallel_bench()
+    path = write_parallel_record(record)
+    print(json.dumps(record, sort_keys=True, indent=2))
+    print(f"\nrecord written to {path}")
+    shutdown_pool()
+    return 0 if record["byte_identical"] and record["warm_cache_zero_runs"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

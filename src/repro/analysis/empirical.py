@@ -9,7 +9,7 @@ just arithmetic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.bounds import (
     abd_upper_total_normalized,
@@ -17,6 +17,7 @@ from repro.core.bounds import (
     theorem51_total_normalized,
     theorem65_total_normalized,
 )
+from repro.parallel.pool import run_tasks
 from repro.registers.abd import build_abd_system
 from repro.registers.cas import build_cas_system
 from repro.workload.patterns import measure_peak_storage_with_nu_writes
@@ -57,15 +58,36 @@ def measured_cas_peak(n: int, f: int, nu: int) -> float:
     )
 
 
+def _measured_point(payload: dict) -> float:
+    """One measured (curve, ν) point; the pool task for the sweep."""
+    if payload["curve"] == "abd":
+        return measured_abd_peak(payload["n"], payload["f"], payload["nu"])
+    return measured_cas_peak(payload["n"], payload["f"], payload["nu"])
+
+
 def empirical_figure1(
-    n: int = 21, f: int = 10, nus: Sequence[int] = (1, 2, 4, 6, 8)
+    n: int = 21,
+    f: int = 10,
+    nus: Sequence[int] = (1, 2, 4, 6, 8),
+    jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """Measured ABD/CAS peaks alongside the formula curves.
 
     Returns series keyed like :func:`repro.analysis.figure1.figure1_series`
-    plus ``measured_abd`` and ``measured_cas``.
+    plus ``measured_abd`` and ``measured_cas``.  Each measured (curve,
+    ν) point is an independent simulator run, so the sweep fans out
+    through the persistent worker pool (``jobs``/``chunk``, default
+    serial); point order is fixed, so the series are byte-identical at
+    any job count.
     """
     nus = list(nus)
+    points = [
+        {"curve": curve, "n": n, "f": f, "nu": nu}
+        for curve in ("abd", "cas")
+        for nu in nus
+    ]
+    measured = run_tasks(_measured_point, points, jobs=jobs, chunk=chunk)
     return {
         "nu": [float(nu) for nu in nus],
         "theorem51": [theorem51_total_normalized(n, f)] * len(nus),
@@ -74,6 +96,6 @@ def empirical_figure1(
         "ec_formula": [
             erasure_coding_upper_total_normalized(n, f, nu) for nu in nus
         ],
-        "measured_abd": [measured_abd_peak(n, f, nu) for nu in nus],
-        "measured_cas": [measured_cas_peak(n, f, nu) for nu in nus],
+        "measured_abd": measured[: len(nus)],
+        "measured_cas": measured[len(nus) :],
     }

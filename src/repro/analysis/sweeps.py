@@ -49,11 +49,17 @@ def _improvement_row(payload: dict) -> Dict[str, float]:
 
 
 def sweep_improvement_ratio(
-    f: int, n_values: Sequence[int], jobs: Optional[int] = None
+    f: int,
+    n_values: Sequence[int],
+    jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Ratio of the new bounds to the Singleton bound as ``N`` grows."""
     return run_tasks(
-        _improvement_row, [{"n": n, "f": f} for n in n_values], jobs=jobs
+        _improvement_row,
+        [{"n": n, "f": f} for n in n_values],
+        jobs=jobs,
+        chunk=chunk,
     )
 
 
@@ -76,6 +82,7 @@ def sweep_finite_v_convergence(
     f: int,
     value_bits_list: Sequence[int],
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Exact finite-|V| bounds normalized by ``log2 |V|`` vs ``|V|``.
 
@@ -86,6 +93,7 @@ def sweep_finite_v_convergence(
         _finite_v_row,
         [{"n": n, "f": f, "value_bits": bits} for bits in value_bits_list],
         jobs=jobs,
+        chunk=chunk,
     )
 
 
@@ -108,6 +116,7 @@ def sweep_proportional_f(
     n_values: Sequence[int],
     f_fraction: float = 0.5,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Bounds with ``f ~ f_fraction * N``: new bounds stay O(1), ABD grows.
 
@@ -118,6 +127,7 @@ def sweep_proportional_f(
         _proportional_row,
         [{"n": n, "f_fraction": f_fraction} for n in n_values],
         jobs=jobs,
+        chunk=chunk,
     )
 
 
@@ -141,6 +151,7 @@ STANDARD_GRIDS: Dict[str, dict] = {
 def run_standard_sweeps(
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
+    chunk: Optional[int] = None,
 ) -> Dict[str, List[Dict[str, float]]]:
     """All three Section 2 sweeps over the standard grids.
 
@@ -151,13 +162,13 @@ def run_standard_sweeps(
     results: Dict[str, List[Dict[str, float]]] = {}
     runners = {
         "improvement": lambda p: sweep_improvement_ratio(
-            p["f"], p["n_values"], jobs=jobs
+            p["f"], p["n_values"], jobs=jobs, chunk=chunk
         ),
         "finite-v": lambda p: sweep_finite_v_convergence(
-            p["n"], p["f"], p["value_bits_list"], jobs=jobs
+            p["n"], p["f"], p["value_bits_list"], jobs=jobs, chunk=chunk
         ),
         "proportional": lambda p: sweep_proportional_f(
-            p["n_values"], p["f_fraction"], jobs=jobs
+            p["n_values"], p["f_fraction"], jobs=jobs, chunk=chunk
         ),
     }
     for name, params in STANDARD_GRIDS.items():

@@ -263,6 +263,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         progress=progress,
         jobs=args.jobs,
+        chunk=args.chunk,
         cache=cache,
         fail_fast=args.fail_fast,
         byzantine=args.byzantine,
@@ -300,6 +301,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             shrink=args.triage_shrink,
             jobs=args.jobs,
             cache=cache,
+            chunk=args.chunk,
         )
         for path in paths:
             print(f"triage bundle written to {path}")
@@ -329,7 +331,9 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
 
     bundle = ReproBundle.load(args.bundle)
     cache = None if args.no_cache else RunCache(args.cache_dir)
-    result = shrink_bundle(bundle, jobs=args.jobs, cache=cache)
+    result = shrink_bundle(
+        bundle, jobs=args.jobs, cache=cache, chunk=args.chunk
+    )
     print(result.format())
     out = args.out or (
         args.bundle[: -len(".json")] + ".min.json"
@@ -404,7 +408,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         def collect(index: int, doc: dict) -> None:
             docs[index] = doc
 
-        run_tasks(capture_trace_task, payloads, jobs=args.jobs, on_result=collect)
+        run_tasks(
+            capture_trace_task, payloads,
+            jobs=args.jobs, chunk=args.chunk, on_result=collect,
+        )
         for config, doc in zip(configs, docs):
             path = (
                 args.out
@@ -518,7 +525,9 @@ def _metrics_batch(args: argparse.Namespace) -> int:
         }
         for seed in range(args.seed, args.seed + args.runs)
     ]
-    results = run_tasks(_metrics_task, payloads, jobs=args.jobs)
+    results = run_tasks(
+        _metrics_task, payloads, jobs=args.jobs, chunk=args.chunk
+    )
     merged = merge_registries(r["registry"] for r in results)
     nu = max(r["nu_observed"] for r in results)
     totals = [r["peak_total_bits"] for r in results if r["peak_total_bits"] is not None]
@@ -636,7 +645,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.parallel.cache import RunCache
 
     cache = None if args.no_cache else RunCache(args.cache_dir)
-    results = run_standard_sweeps(jobs=args.jobs, cache=cache)
+    results = run_standard_sweeps(
+        jobs=args.jobs, cache=cache, chunk=args.chunk
+    )
     text = format_standard_sweeps(results)
     print(text)
     ok, reason = check_standard_sweeps(results)
@@ -693,8 +704,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--jobs", type=int, default=None,
             help="worker processes for independent runs (default: "
-            "$REPRO_JOBS or 1; 0 = one per CPU); results are "
-            "byte-identical at any job count",
+            "$REPRO_JOBS or 1; 0 or negative = one per CPU); results "
+            "are byte-identical at any job count",
+        )
+        p.add_argument(
+            "--chunk", type=int, default=None,
+            help="tasks per dispatch chunk on the worker pool (default: "
+            "$REPRO_CHUNK or auto ~4 chunks/worker; 0 = auto); chunking "
+            "never affects output, only IPC cost",
         )
 
     p = sub.add_parser("figure1", help="print the Figure 1 table")
@@ -752,7 +769,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
-        "chaos", help="adversarial fault-injection campaign over all algorithms"
+        "chaos",
+        help="adversarial fault-injection campaign over all algorithms",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "parallelism resolution order (same for every parallel verb):\n"
+            "  1. the --jobs flag, when given;\n"
+            "  2. else the REPRO_JOBS environment variable;\n"
+            "  3. else 1 (serial, in-process — no pool at all).\n"
+            "0 or any negative value — from the flag OR the env var — "
+            "means one worker per CPU;\n"
+            "a malformed REPRO_JOBS is ignored (serial), never fatal.\n"
+            "--chunk / REPRO_CHUNK resolve the same way (0 = auto-size); "
+            "chunk size changes\nIPC cost only — reports are "
+            "byte-identical at any --jobs and any --chunk."
+        ),
     )
     p.add_argument(
         "--algorithms", nargs="+", choices=["abd", "cas", "casgc"],

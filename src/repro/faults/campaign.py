@@ -44,7 +44,7 @@ from repro.obs.recorder import SimObserver
 from repro.obs.tracing import TraceCollector, TRACE_TAIL_EVENTS
 from repro.parallel.cache import RunCache
 from repro.parallel.fingerprint import code_fingerprint
-from repro.parallel.pool import run_tasks
+from repro.parallel.pool import UNSET, run_tasks
 from repro.registers.base import SystemHandle
 from repro.registers.catalog import build_client_system
 from repro.util.rng import SeededRNG
@@ -997,6 +997,7 @@ def run_campaign(
     max_ticks: int = 60_000,
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     cache: Optional[RunCache] = None,
     fail_fast: bool = False,
     byzantine: int = 0,
@@ -1014,9 +1015,11 @@ def run_campaign(
     triage bundles.  Instrumented and plain runs use distinct cache
     keys, so flipping the flag never serves stale shapes.
 
-    ``jobs`` fans independent runs out over a worker pool (default:
-    ``REPRO_JOBS`` or serial); results are merged in task order so the
-    report is byte-identical at any job count.  ``cache`` skips runs
+    ``jobs`` fans independent runs out over the persistent worker pool
+    (default: ``REPRO_JOBS`` or serial); results are merged in task
+    order so the report is byte-identical at any job count (and any
+    ``chunk`` size — dispatch chunking, ``REPRO_CHUNK``/auto, never
+    affects output).  ``cache`` skips runs
     whose key (parameters + seed + code fingerprint) is already stored;
     a fully warm cache executes zero simulator runs.
 
@@ -1058,12 +1061,16 @@ def run_campaign(
                 break
         return report
 
-    slots: List[Optional[dict]] = [None] * len(tasks)
+    # Slots start at the UNSET sentinel, not None: a cache miss returns
+    # None, and a (hypothetical) task result could itself be falsy, so
+    # "not yet filled" must be distinguishable from any payload value.
+    slots: List[dict] = [UNSET] * len(tasks)  # type: ignore[list-item]
     cached_indices: set = set()
     if cache is not None:
         for index, payload in enumerate(tasks):
-            slots[index] = cache.get(campaign_task_key(payload))
-            if slots[index] is not None:
+            hit = cache.get(campaign_task_key(payload))
+            if hit is not None:
+                slots[index] = hit
                 cached_indices.add(index)
     pending = [i for i in range(len(tasks)) if i not in cached_indices]
 
@@ -1072,7 +1079,7 @@ def run_campaign(
     def emit_ready_prefix() -> None:
         """Stream progress for the contiguous completed prefix, in order."""
         nonlocal emitted
-        while emitted < len(slots) and slots[emitted] is not None:
+        while emitted < len(slots) and slots[emitted] is not UNSET:
             if progress is not None:
                 result = ChaosRunResult.from_cache_dict(slots[emitted])
                 progress(
@@ -1096,6 +1103,7 @@ def run_campaign(
         _campaign_task,
         [tasks[index] for index in pending],
         jobs=jobs,
+        chunk=chunk,
         on_result=collect,
     )
 

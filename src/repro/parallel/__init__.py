@@ -3,33 +3,54 @@
 Every heavy workload in this repository — chaos campaigns, theorem
 benches, parameter sweeps — is a collection of *independent* seeded
 runs: each run is a pure function of ``(algorithm, N, f, |V|, seed,
-fault config)``.  This package exploits that in two layers:
+fault config)``.  This package exploits that in three layers:
 
-* :mod:`repro.parallel.pool` — a ``multiprocessing`` worker pool that
-  fans tasks out and reassembles results **in task order** (results
-  are collected keyed by task index), so a 4-worker campaign report is
-  byte-identical to the serial one.  ``--jobs 1`` (the default) runs
-  in-process with no pool at all.
+* :mod:`repro.parallel.pool` — a **persistent** ``multiprocessing``
+  worker pool (created once per process, reused by every
+  ``run_tasks`` call) that fans tasks out in **chunks** and
+  reassembles results **in task order** (results are collected keyed
+  by task index), so a 4-worker campaign report is byte-identical to
+  the serial one.  ``--jobs 1`` (the default) runs in-process with no
+  pool at all.
+* :mod:`repro.parallel.codec` — the shared-prefix payload codec:
+  homogeneous task payloads ship as one per-chunk context plus small
+  per-task deltas instead of full re-pickled dicts.
 * :mod:`repro.parallel.cache` — a content-addressed run cache under
   ``benchmarks/.cache/``: the key hashes the task parameters, the seed,
   and a fingerprint of the ``src/repro`` source tree
   (:mod:`repro.parallel.fingerprint`), so results survive re-runs but
   never survive a code change.
 
-See ``docs/parallelism.md`` for the determinism contract and the cache
-key design.
+See ``docs/parallelism.md`` for the determinism contract, the pool
+lifecycle, chunk sizing, and the cache key design.
 """
 
 from repro.parallel.cache import DEFAULT_CACHE_DIR, RunCache
+from repro.parallel.codec import PayloadCodec
 from repro.parallel.fingerprint import FINGERPRINT_ENV, code_fingerprint
-from repro.parallel.pool import JOBS_ENV, resolve_jobs, run_tasks
+from repro.parallel.pool import (
+    CHUNK_ENV,
+    JOBS_ENV,
+    UNSET,
+    pool_workers,
+    resolve_chunk,
+    resolve_jobs,
+    run_tasks,
+    shutdown_pool,
+)
 
 __all__ = [
+    "CHUNK_ENV",
     "DEFAULT_CACHE_DIR",
     "FINGERPRINT_ENV",
     "JOBS_ENV",
+    "PayloadCodec",
     "RunCache",
+    "UNSET",
     "code_fingerprint",
+    "pool_workers",
+    "resolve_chunk",
     "resolve_jobs",
     "run_tasks",
+    "shutdown_pool",
 ]

@@ -1,0 +1,129 @@
+"""Compact task payloads: a shared-prefix codec for chunked dispatch.
+
+Campaign-style task payloads are highly redundant: every task of one
+``run_tasks`` call carries the same ``n``/``f``/``value_bits``/
+``num_ops``/``max_ticks`` fields (and, one level down, fault-config
+dicts sharing most of their defaulted fields), differing only in a
+small delta — the seed, the shape name, a probability or two.  The
+spawn-per-call engine re-pickled the *full* payload for every task;
+with hundreds of tasks per campaign that is the dominant IPC cost
+after process start-up.
+
+:class:`PayloadCodec` splits a homogeneous payload list into
+
+* one **shared context** — every top-level key whose value is
+  identical across all payloads, plus (for dict-valued keys such as
+  ``config``) a nested shared sub-context of the fields identical
+  across all of *those* dicts — and
+* one small **delta** per task holding only the differing fields.
+
+The pool ships the context once per dispatch chunk (pickle memoizes
+it, so a chunk of K tasks serializes the context exactly once, not K
+times) and each worker reconstructs the original payloads with
+:meth:`decode`.  The round trip is exact: ``decode(delta) ==
+original`` for every payload, by construction — keys enter the shared
+context only when present in **all** payloads with equal values, so
+merging can never invent or lose a field.
+
+Two contracts the codec relies on (both already required by the pool):
+
+* payloads are plain data (picklable, ``==``-comparable values);
+* task functions never mutate their payload — decoded payloads within
+  a chunk share the context's value objects by reference.
+
+Non-dict or singleton payload lists pass through untouched
+(:meth:`train` returns ``codec=None`` and the original list).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class PayloadCodec:
+    """Shared-prefix splitter for one homogeneous payload list.
+
+    Instances are small plain-data objects, pickled with each dispatch
+    chunk; :meth:`decode` runs worker-side.
+    """
+
+    __slots__ = ("shared", "nested")
+
+    def __init__(
+        self, shared: Dict[str, Any], nested: Dict[str, Dict[str, Any]]
+    ) -> None:
+        #: Top-level keys identical across every payload.
+        self.shared = shared
+        #: key -> sub-dict of fields identical across every payload's
+        #: dict value for that key (keys absent from ``shared``).
+        self.nested = nested
+
+    @classmethod
+    def train(
+        cls, payloads: Sequence[Any]
+    ) -> Tuple[Optional["PayloadCodec"], List[Any]]:
+        """Split ``payloads`` into ``(codec, deltas)``.
+
+        Returns ``(None, payloads)`` when there is nothing to share:
+        fewer than two payloads, or any payload not a dict.
+        """
+        payloads = list(payloads)
+        if len(payloads) < 2 or not all(
+            isinstance(p, dict) for p in payloads
+        ):
+            return None, payloads
+        first = payloads[0]
+        rest = payloads[1:]
+        shared: Dict[str, Any] = {}
+        nested: Dict[str, Dict[str, Any]] = {}
+        for key, value in first.items():
+            if not all(key in p for p in rest):
+                continue
+            if all(p[key] == value for p in rest):
+                shared[key] = value
+            elif isinstance(value, dict) and all(
+                isinstance(p[key], dict) for p in rest
+            ):
+                sub = {
+                    sk: sv
+                    for sk, sv in value.items()
+                    if all(sk in p[key] and p[key][sk] == sv for p in rest)
+                }
+                if sub:
+                    nested[key] = sub
+        if not shared and not nested:
+            return None, payloads
+        codec = cls(shared, nested)
+        return codec, [codec._delta(p) for p in payloads]
+
+    def _delta(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The fields of ``payload`` the shared context does not carry."""
+        delta: Dict[str, Any] = {}
+        for key, value in payload.items():
+            if key in self.shared:
+                continue
+            sub = self.nested.get(key)
+            if sub is not None:
+                value = {
+                    sk: sv for sk, sv in value.items() if sk not in sub
+                }
+            delta[key] = value
+        return delta
+
+    def decode(self, delta: Dict[str, Any]) -> Dict[str, Any]:
+        """Rebuild the original payload from one delta (worker-side)."""
+        out = dict(self.shared)
+        for key, value in delta.items():
+            sub = self.nested.get(key)
+            if sub is not None:
+                merged = dict(sub)
+                merged.update(value)
+                value = merged
+            out[key] = value
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PayloadCodec(shared={sorted(self.shared)}, "
+            f"nested={sorted(self.nested)})"
+        )

@@ -94,6 +94,7 @@ def bundle_campaign_failures(
     shrink: bool = False,
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
+    chunk: Optional[int] = None,
 ) -> List[str]:
     """Freeze every unacceptable campaign run into a bundle file.
 
@@ -113,7 +114,7 @@ def bundle_campaign_failures(
         )
         path = os.path.join(directory, bundle_name(bundle))
         if shrink:
-            shrunk = shrink_bundle(bundle, jobs=jobs, cache=cache)
+            shrunk = shrink_bundle(bundle, jobs=jobs, cache=cache, chunk=chunk)
             bundle = shrunk.minimized
             bundle.write(path)
             write_shrink_log(shrunk, path[: -len(".json")] + ".shrink.log")

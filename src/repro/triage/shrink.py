@@ -141,10 +141,12 @@ class _Shrinker:
         jobs: Optional[int],
         cache: Optional[RunCache],
         observer,
+        chunk: Optional[int] = None,
     ) -> None:
         self.bundle = bundle
         self.target = bundle.expected.signature()
         self.jobs = jobs
+        self.chunk = chunk
         self.cache = cache
         self.observer = observer
         self.result = ShrinkResult(
@@ -168,7 +170,10 @@ class _Shrinker:
                     self.observer.registry.inc("triage.shrink.cache_hits")
         pending = [i for i in range(len(payloads)) if results[i] is None]
         fresh = run_tasks(
-            _replay_task, [payloads[i] for i in pending], jobs=self.jobs
+            _replay_task,
+            [payloads[i] for i in pending],
+            jobs=self.jobs,
+            chunk=self.chunk,
         )
         for i, data in zip(pending, fresh):
             results[i] = data
@@ -266,6 +271,7 @@ def shrink_bundle(
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
     observer=NO_OP,
+    chunk: Optional[int] = None,
 ) -> ShrinkResult:
     """Minimize ``bundle`` while preserving its exact failure signature.
 
@@ -279,7 +285,7 @@ def shrink_bundle(
             "only chaos bundles are shrinkable; an exploration "
             "counterexample's delivery schedule is already its essence"
         )
-    shrinker = _Shrinker(bundle, jobs, cache, observer)
+    shrinker = _Shrinker(bundle, jobs, cache, observer, chunk=chunk)
     if shrinker._evaluate([bundle]) != 0:
         raise ConfigurationError(
             "bundle does not reproduce its recorded failure signature "

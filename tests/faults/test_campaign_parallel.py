@@ -11,10 +11,12 @@ against the real chaos campaign:
 """
 
 import json
+import os
 
 import pytest
 
 import repro.faults.campaign as campaign_mod
+from repro.cli import main as cli_main
 from repro.faults.campaign import campaign_task_payload, run_campaign
 from repro.parallel import FINGERPRINT_ENV, RunCache
 
@@ -55,6 +57,73 @@ class TestByteIdentity:
             lines[jobs] = acc
         assert lines[3] == lines[1]
         assert len(lines[1]) > 0
+
+    def test_chunk_size_never_affects_report(self, serial_report):
+        for chunk in (1, 3, 0):
+            report = run_campaign(jobs=4, chunk=chunk, **PARAMS)
+            assert report.format() == serial_report.format(), chunk
+
+    def test_cached_none_slots_never_reexecuted(self, tmp_path, monkeypatch):
+        # Regression for the cache/slot ambiguity: with None used both
+        # as "cache miss" and "slot unfilled", a fully warm cache where
+        # lookups legitimately return data must not be confused with
+        # pending slots.  The UNSET sentinel keeps them distinct; this
+        # pins the observable consequence (zero re-executions) at the
+        # campaign level even when only *some* slots are warm.
+        small = dict(algorithms=("abd",), n=5, f=1, value_bits=6,
+                     seeds=[0], num_ops=3)
+        cache = RunCache(str(tmp_path))
+        first = run_campaign(cache=cache, **small)
+
+        executed = []
+        real_task = campaign_mod._campaign_task
+
+        def counting_task(payload):
+            executed.append(payload["config"]["seed"])
+            return real_task(payload)
+
+        monkeypatch.setattr(campaign_mod, "_campaign_task", counting_task)
+        # Evict every other entry so the warm pass mixes hits and misses.
+        keys = [
+            campaign_mod.campaign_task_key(
+                campaign_mod.campaign_task_payload(
+                    "abd", config, 5, 1, 6, 3, 60_000
+                )
+            )
+            for config in campaign_mod.generate_fault_configs(1, [0])
+        ]
+        for key in keys[::2]:
+            os.remove(cache._path(key))
+        partial = RunCache(str(tmp_path))
+        second = run_campaign(cache=partial, **small)
+        assert second.format() == first.format()
+        assert len(executed) == len(keys[::2])  # misses only, each once
+
+
+class TestCliByteIdentity:
+    """`repro chaos --json` byte-identity across job counts (chunked path)."""
+
+    ARGS = [
+        "chaos", "--algorithms", "abd", "--n", "5", "--f", "1",
+        "--seeds", "1", "--ops", "3", "--out", "", "--no-cache",
+    ]
+
+    @pytest.fixture(scope="class")
+    def json_by_jobs(self, tmp_path_factory):
+        out = {}
+        for jobs in (1, 2, 8):
+            path = tmp_path_factory.mktemp("chaos") / f"jobs{jobs}.json"
+            rc = cli_main(
+                self.ARGS + ["--jobs", str(jobs), "--chunk", "2",
+                             "--json", str(path)]
+            )
+            assert rc == 0
+            out[jobs] = path.read_bytes()
+        return out
+
+    def test_json_bytes_identical_at_1_2_8(self, json_by_jobs):
+        assert json_by_jobs[1] == json_by_jobs[2] == json_by_jobs[8]
+        assert json.loads(json_by_jobs[1])  # and it is real JSON
 
 
 class TestRunCache:

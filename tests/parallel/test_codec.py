@@ -1,0 +1,123 @@
+"""The payload codec's one obligation: an exact round trip.
+
+``PayloadCodec.train`` may split payloads however it likes; what it may
+never do is change what ``decode`` hands the task function.  Every test
+here is some flavor of ``decode(delta) == original``.
+"""
+
+import pytest
+
+from repro.parallel import PayloadCodec
+
+
+def roundtrip(payloads):
+    codec, deltas = PayloadCodec.train(payloads)
+    if codec is None:
+        assert deltas == payloads
+        return payloads
+    return [codec.decode(delta) for delta in deltas]
+
+
+CAMPAIGN_LIKE = [
+    {
+        "algorithm": "abd",
+        "n": 5,
+        "f": 1,
+        "num_ops": 4,
+        "config": {"name": "drops", "seed": seed, "drop_probability": 0.3},
+    }
+    for seed in range(6)
+]
+
+
+class TestTrain:
+    def test_shared_fields_extracted(self):
+        codec, deltas = PayloadCodec.train(CAMPAIGN_LIKE)
+        assert codec is not None
+        assert set(codec.shared) == {"algorithm", "n", "f", "num_ops"}
+        # The config dicts differ only in seed: name and probability
+        # land in the nested shared sub-context.
+        assert set(codec.nested) == {"config"}
+        assert set(codec.nested["config"]) == {"name", "drop_probability"}
+        assert all(set(d) == {"config"} for d in deltas)
+        assert all(set(d["config"]) == {"seed"} for d in deltas)
+
+    def test_singleton_passes_through(self):
+        payloads = [{"a": 1}]
+        assert PayloadCodec.train(payloads) == (None, payloads)
+
+    def test_empty_passes_through(self):
+        assert PayloadCodec.train([]) == (None, [])
+
+    def test_non_dict_passes_through(self):
+        payloads = [1, 2, 3]
+        assert PayloadCodec.train(payloads) == (None, payloads)
+
+    def test_mixed_dict_and_not_passes_through(self):
+        payloads = [{"a": 1}, 2]
+        assert PayloadCodec.train(payloads) == (None, payloads)
+
+    def test_nothing_shared_passes_through(self):
+        payloads = [{"a": 1}, {"b": 2}]
+        assert PayloadCodec.train(payloads) == (None, payloads)
+
+
+class TestRoundTrip:
+    def test_campaign_like(self):
+        assert roundtrip(CAMPAIGN_LIKE) == CAMPAIGN_LIKE
+
+    def test_key_missing_from_one_payload_stays_per_task(self):
+        payloads = [{"a": 1, "b": 2}, {"a": 1, "b": 2, "c": 3}, {"a": 1, "b": 9}]
+        assert roundtrip(payloads) == payloads
+
+    def test_falsy_shared_values_survive(self):
+        payloads = [
+            {"flag": False, "count": 0, "name": "", "items": [], "i": i}
+            for i in range(3)
+        ]
+        codec, deltas = PayloadCodec.train(payloads)
+        assert set(codec.shared) == {"flag", "count", "name", "items"}
+        assert [codec.decode(d) for d in deltas] == payloads
+
+    def test_none_shared_value_survives(self):
+        payloads = [{"heal_at": None, "i": i} for i in range(3)]
+        assert roundtrip(payloads) == payloads
+
+    def test_nested_partial_overlap(self):
+        payloads = [
+            {"config": {"name": "drops", "seed": 0, "extra": "x"}, "i": 0},
+            {"config": {"name": "drops", "seed": 1}, "i": 1},
+        ]
+        assert roundtrip(payloads) == payloads
+
+    def test_nested_value_differs_entirely(self):
+        payloads = [
+            {"config": {"seed": 0}, "n": 5},
+            {"config": {"seed": 1}, "n": 5},
+            {"config": {"seed": 2}, "n": 5},
+        ]
+        assert roundtrip(payloads) == payloads
+
+    def test_dict_key_not_dict_everywhere(self):
+        # "config" is a dict in one payload, a string in another: it
+        # must stay per-task verbatim, never merged.
+        payloads = [
+            {"config": {"seed": 0}, "n": 5},
+            {"config": "inline", "n": 5},
+        ]
+        assert roundtrip(payloads) == payloads
+
+    @pytest.mark.parametrize("count", [2, 5, 17])
+    def test_identical_payloads(self, count):
+        payloads = [{"a": 1, "b": {"c": 2}}] * count
+        decoded = roundtrip(payloads)
+        assert decoded == payloads
+
+    def test_decode_does_not_mutate_codec_state(self):
+        codec, deltas = PayloadCodec.train(CAMPAIGN_LIKE)
+        before_shared = dict(codec.shared)
+        before_nested = {k: dict(v) for k, v in codec.nested.items()}
+        for delta in deltas:
+            codec.decode(delta)
+        assert codec.shared == before_shared
+        assert codec.nested == before_nested

@@ -1,8 +1,26 @@
-"""The engine's byte-determinism contract: task order in, task order out."""
+"""The engine's byte-determinism contract: task order in, task order out.
+
+Also the persistence contract (one pool per process, reused across
+``run_tasks`` calls, grown by recreation) and the degradation contract
+(sandboxed semaphores or a mid-flight pool failure fall back to
+in-process serial execution with identical output).
+"""
+
+import os
 
 import pytest
 
-from repro.parallel import JOBS_ENV, resolve_jobs, run_tasks
+import repro.parallel.pool as pool_mod
+from repro.parallel import (
+    CHUNK_ENV,
+    JOBS_ENV,
+    UNSET,
+    pool_workers,
+    resolve_chunk,
+    resolve_jobs,
+    run_tasks,
+    shutdown_pool,
+)
 
 
 def square(x):
@@ -11,6 +29,40 @@ def square(x):
 
 def describe(payload):
     return {"name": payload["name"], "value": payload["value"] + 1}
+
+
+def falsy_result(payload):
+    """Legitimate falsy results: None, 0, "", [] — all valid slot values."""
+    return [None, 0, "", []][payload % 4]
+
+
+CALLS = []
+
+
+def record_call(payload):
+    """In-process call counter (only meaningful under a fake pool)."""
+    CALLS.append(payload)
+    return None
+
+
+class _InProcessPool:
+    """A fake pool running chunks in-process — call counts are visible."""
+
+    def imap_unordered(self, fn, iterable):
+        return (fn(item) for item in iterable)
+
+
+class _DyingPool:
+    """A fake pool that delivers some chunks, then dies mid-flight."""
+
+    def __init__(self, deliver_chunks):
+        self.deliver_chunks = deliver_chunks
+
+    def imap_unordered(self, fn, iterable):
+        for i, item in enumerate(iterable):
+            if i >= self.deliver_chunks:
+                raise RuntimeError("worker died mid-flight")
+            yield fn(item)
 
 
 class TestResolveJobs:
@@ -32,8 +84,50 @@ class TestResolveJobs:
 
     def test_nonpositive_means_cpu_count(self, monkeypatch):
         monkeypatch.delenv(JOBS_ENV, raising=False)
-        assert resolve_jobs(0) >= 1
-        assert resolve_jobs(-4) >= 1
+        cpus = os.cpu_count() or 1
+        assert resolve_jobs(0) == cpus
+        assert resolve_jobs(-4) == cpus
+
+    def test_env_zero_matches_flag_zero(self, monkeypatch):
+        # REPRO_JOBS=0 and --jobs 0 must mean the same thing: per-CPU.
+        monkeypatch.setenv(JOBS_ENV, "0")
+        assert resolve_jobs() == resolve_jobs(0)
+
+    def test_env_negative_means_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "-2")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+
+class TestResolveChunk:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV, "9")
+        assert resolve_chunk(5, tasks=100, workers=4) == 5
+
+    def test_env_used_when_no_arg(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV, "9")
+        assert resolve_chunk(tasks=100, workers=4) == 9
+
+    def test_auto_targets_four_chunks_per_worker(self, monkeypatch):
+        monkeypatch.delenv(CHUNK_ENV, raising=False)
+        # ceil(600 / (4 workers * 4)) = 38
+        assert resolve_chunk(tasks=600, workers=4) == 38
+
+    def test_auto_capped(self, monkeypatch):
+        monkeypatch.delenv(CHUNK_ENV, raising=False)
+        assert resolve_chunk(tasks=100_000, workers=1) == 64
+
+    def test_auto_floor_is_one(self, monkeypatch):
+        monkeypatch.delenv(CHUNK_ENV, raising=False)
+        assert resolve_chunk(tasks=0, workers=8) == 1
+        assert resolve_chunk(tasks=3, workers=8) == 1
+
+    def test_zero_means_auto(self, monkeypatch):
+        monkeypatch.delenv(CHUNK_ENV, raising=False)
+        assert resolve_chunk(0, tasks=600, workers=4) == 38
+
+    def test_malformed_env_falls_back_to_auto(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV, "many")
+        assert resolve_chunk(tasks=600, workers=4) == 38
 
 
 class TestRunTasks:
@@ -50,6 +144,12 @@ class TestRunTasks:
         parallel = run_tasks(describe, payloads, jobs=jobs)
         assert parallel == serial
 
+    @pytest.mark.parametrize("chunk", [1, 2, 5, 0])
+    def test_chunk_size_never_affects_output(self, chunk):
+        payloads = [{"name": f"t{i}", "value": i} for i in range(9)]
+        serial = run_tasks(describe, payloads, jobs=1)
+        assert run_tasks(describe, payloads, jobs=3, chunk=chunk) == serial
+
     def test_on_result_fires_in_task_order_serial(self):
         seen = []
         run_tasks(square, [5, 4, 3], jobs=1, on_result=lambda i, r: seen.append((i, r)))
@@ -64,12 +164,80 @@ class TestRunTasks:
         # Completion order may be anything; emission order may not.
         assert seen == [(i, i * i) for i in range(12)]
 
+    def test_on_result_strict_order_across_chunk_boundaries(self):
+        # chunk=2 over 11 tasks: chunks complete out of order on 3
+        # workers, but emission must still be the contiguous prefix.
+        seen = []
+        results = run_tasks(
+            square,
+            list(range(11)),
+            jobs=3,
+            chunk=2,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert results == [i * i for i in range(11)]
+        assert seen == [(i, i * i) for i in range(11)]
+
     def test_single_task_runs_in_process(self):
         # workers = min(jobs, len(payloads)) == 1 -> serial path.
         assert run_tasks(square, [6], jobs=8) == [36]
 
+    def test_falsy_results_are_real_results(self):
+        # Regression: slot bookkeeping must use the UNSET sentinel, not
+        # None/falsiness — None, 0, "", [] are legitimate results.
+        expected = [falsy_result(i) for i in range(8)]
+        assert run_tasks(falsy_result, list(range(8)), jobs=1) == expected
+        assert run_tasks(falsy_result, list(range(8)), jobs=3, chunk=2) == expected
+
+    def test_none_results_not_reexecuted(self, monkeypatch):
+        # With None-as-sentinel, the serial fallback would re-run every
+        # task whose (legitimate) result was None.  Count calls under an
+        # in-process fake pool to prove each task ran exactly once.
+        shutdown_pool()
+        monkeypatch.setattr(pool_mod, "get_pool", lambda workers: _InProcessPool())
+        CALLS.clear()
+        results = run_tasks(record_call, list(range(6)), jobs=2, chunk=2)
+        assert results == [None] * 6
+        assert len(CALLS) == 6
+
+    def test_unset_sentinel_is_private(self):
+        assert UNSET is not None
+        assert bool(UNSET)  # a plain object() is truthy, never falsy
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_calls(self):
+        shutdown_pool()
+        assert pool_workers() == 0
+        run_tasks(square, list(range(8)), jobs=2)
+        first = pool_mod._POOL
+        assert first is not None and pool_workers() >= 2
+        run_tasks(square, list(range(8)), jobs=2)
+        assert pool_mod._POOL is not None
+        assert pool_mod._POOL[0] is first[0]  # same pool object, reused
+
+    def test_pool_grows_by_recreation(self):
+        shutdown_pool()
+        run_tasks(square, list(range(8)), jobs=2)
+        narrow = pool_mod._POOL
+        run_tasks(square, list(range(8)), jobs=4)
+        assert pool_workers() >= 4
+        assert pool_mod._POOL[0] is not narrow[0]
+        # A later narrower request reuses the wide pool, no shrink.
+        run_tasks(square, list(range(8)), jobs=2)
+        assert pool_workers() >= 4
+
+    def test_shutdown_is_idempotent(self):
+        shutdown_pool()
+        shutdown_pool()
+        assert pool_workers() == 0
+
+
+class TestDegradation:
     def test_pool_failure_degrades_to_serial(self, monkeypatch):
-        import repro.parallel.pool as pool_mod
+        # The persistent pool may be live from an earlier test; drop it
+        # so the monkeypatched context is what get_pool actually hits.
+        shutdown_pool()
 
         class Exploding:
             def Pool(self, processes):
@@ -82,3 +250,35 @@ class TestRunTasks:
         )
         assert results == [4, 9]
         assert seen == [0, 1]
+
+    def test_worker_death_fills_remaining_serially(self, monkeypatch):
+        # First chunk delivered, then the pool dies: the engine must
+        # discard the pool, compute what's missing in-process, and keep
+        # the on_result order strict with no replays.
+        shutdown_pool()
+        monkeypatch.setattr(
+            pool_mod, "get_pool", lambda workers: _DyingPool(deliver_chunks=1)
+        )
+        seen = []
+        results = run_tasks(
+            square,
+            list(range(7)),
+            jobs=2,
+            chunk=2,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert results == [i * i for i in range(7)]
+        assert seen == [(i, i * i) for i in range(7)]
+        assert pool_workers() == 0  # the broken pool was discarded
+
+    def test_task_exception_propagates(self, monkeypatch):
+        # A task that raises is a task bug, not a pool failure: the
+        # serial fallback re-raises it instead of swallowing it.
+        shutdown_pool()
+        monkeypatch.setattr(pool_mod, "get_pool", lambda workers: _InProcessPool())
+
+        def boom(payload):
+            raise ValueError(f"task {payload} is broken")
+
+        with pytest.raises(ValueError, match="task 0 is broken"):
+            run_tasks(boom, list(range(4)), jobs=2)

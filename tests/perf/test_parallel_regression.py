@@ -1,0 +1,28 @@
+"""Tier-2 perf-regression guard over the parallel engine.
+
+Reruns the realistic campaign workload of
+``benchmarks.bench_parallel.run_parallel_bench`` and fails if any
+parallel gate breaks: byte-identity across job counts and chunk sizes,
+zero simulator runs on a warm cache, the dispatch and engine speedup
+floors (persistent+chunked vs the retired spawn-per-call engine — a
+machine-independent before/after ratio), or the CPU-count-tiered
+serial-vs-parallel speedup.  On failure the assertion message carries
+the full jobs-scaling table, so a CI log alone is enough to diagnose.
+Marked ``tier2`` (reruns the campaign several times): excluded from
+tier-1, exercised by ``make test`` and ``make perf-guard``.
+"""
+
+import pytest
+
+from benchmarks.bench_parallel import run_parallel_bench
+from benchmarks.perf_guard import jobs_scaling_table, parallel_failures
+
+pytestmark = pytest.mark.tier2
+
+
+def test_parallel_engine_gates_hold():
+    record = run_parallel_bench()
+    failures = parallel_failures(record)
+    assert not failures, (
+        "; ".join(failures) + "\n" + jobs_scaling_table(record)
+    )
