@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-tier1 bench bench-core bench-parallel campaign-scale perf-guard examples verify-proofs figure1 chaos byzantine-smoke sweep metrics-smoke trace-smoke shrink-smoke docs-check clean
+.PHONY: install test test-tier1 bench bench-core bench-parallel campaign-scale perf-guard resume-smoke examples verify-proofs figure1 chaos byzantine-smoke sweep metrics-smoke trace-smoke shrink-smoke docs-check clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -47,6 +47,14 @@ campaign-scale:
 # tests/perf/test_parallel_regression.py), excluded from tier-1.
 perf-guard:
 	$(PYTHON) -m benchmarks.perf_guard
+
+# Tier-2 resilience smoke: run a journaled chaos campaign, SIGKILL it
+# about halfway, resume from the journal, and assert the resumed JSON
+# report is byte-identical to an uninterrupted reference run.  Also
+# wired into perf-guard as the resume-resilience gate and wrapped by
+# tests/perf/test_resume_smoke.py.
+resume-smoke:
+	$(PYTHON) -m benchmarks.resume_smoke
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

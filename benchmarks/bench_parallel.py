@@ -127,14 +127,29 @@ def _timed_campaign(**kwargs):
     return report, time.perf_counter() - start
 
 
+def _legacy_run_supervised(
+    fn, payloads, jobs=None, chunk=None, on_result=None, on_complete=None,
+    **_ignored,
+):
+    """Legacy engine behind the supervisor's signature (measurement only)."""
+
+    def emit(index, result):
+        if on_complete is not None:
+            on_complete(index, result)
+        if on_result is not None:
+            on_result(index, result)
+
+    return _legacy_run_tasks(fn, payloads, jobs=jobs, on_result=emit)
+
+
 def _timed_legacy_campaign(**kwargs):
     """The same campaign routed through the legacy engine."""
-    original = campaign_mod.run_tasks
-    campaign_mod.run_tasks = _legacy_run_tasks
+    original = campaign_mod.run_supervised
+    campaign_mod.run_supervised = _legacy_run_supervised
     try:
         return _timed_campaign(**kwargs)
     finally:
-        campaign_mod.run_tasks = original
+        campaign_mod.run_supervised = original
 
 
 def _dispatch_payloads():

@@ -201,6 +201,51 @@ def parallel_failures(record: Dict[str, dict]) -> List[str]:
     return failures
 
 
+def resilience_failures(record: Dict[str, dict]) -> List[str]:
+    """Resume-gate violations (empty when checkpoint/resume holds)."""
+    failures = []
+    if record.get("error"):
+        failures.append(f"resilience: {record['error']}")
+    if not record.get("byte_identical"):
+        failures.append(
+            "resilience: resumed campaign report is not byte-identical "
+            "to the uninterrupted reference"
+        )
+    if record.get("killed_midway") and not record.get("loaded"):
+        failures.append(
+            "resilience: the resumed campaign loaded zero journal entries "
+            "after a mid-flight kill"
+        )
+    return failures
+
+
+def run_resilience_guard(verbose: bool = True) -> List[str]:
+    """Run the resume smoke and gate it; returns failure messages."""
+    from benchmarks.resume_smoke import run_resume_smoke
+
+    record = run_resume_smoke(verbose=verbose)
+    if verbose:
+        print(
+            f"  resilience: {record['loaded']}/{record['total_runs']} runs "
+            f"resumed from the journal, report "
+            f"{'byte-identical' if record['byte_identical'] else 'DIVERGED'}"
+        )
+    failures = resilience_failures(record)
+    if failures:
+        # The engine counters say *how* the resumed campaign degraded
+        # (timeouts/retries/quarantines/serial fallbacks) — print them
+        # so the failure is diagnosable from CI logs alone.
+        print(
+            f"resilience record: loaded={record.get('loaded')} "
+            f"of {record.get('total_runs')} "
+            f"(attempts={record.get('attempts')}, "
+            f"resume_exit={record.get('resume_exit')}); "
+            f"engine counters: {record.get('runtime')}",
+            file=sys.stderr,
+        )
+    return failures
+
+
 def run_parallel_guard(verbose: bool = True) -> List[str]:
     """Run the parallel bench and gate it; returns failure messages."""
     from benchmarks.bench_parallel import run_parallel_bench
@@ -233,13 +278,14 @@ def main() -> int:
         print(f"  tracing: {key} {fresh['tracing'][key]:.2%}")
     failures = compare_records(baseline, fresh)
     failures.extend(run_parallel_guard())
+    failures.extend(run_resilience_guard())
     if failures:
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)
         return 1
     print(
-        "perf guard: core speedups, the tracing-off budget, and the "
-        "parallel-engine gates all hold"
+        "perf guard: core speedups, the tracing-off budget, the "
+        "parallel-engine gates, and the resume-resilience gate all hold"
     )
     return 0
 

@@ -240,8 +240,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults.campaign import run_campaign, write_json_report, write_report
+    from repro.errors import ConfigurationError
+    from repro.faults.campaign import (
+        campaign_journal_meta,
+        run_campaign,
+        write_json_report,
+        write_report,
+    )
     from repro.parallel.cache import RunCache
+    from repro.parallel.journal import CampaignJournal
+    from repro.parallel.supervisor import resolve_task_timeout
 
     if args.seeds < 1:
         print("error: --seeds must be >= 1 (a zero-run campaign proves nothing)")
@@ -249,26 +257,75 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.byzantine < 0:
         print("error: --byzantine must be >= 0")
         return 3
+    if args.max_retries < 1:
+        print("error: --max-retries must be >= 1 (every run executes at "
+              "least once)")
+        return 3
+    if args.journal and args.resume and args.journal != args.resume:
+        print("error: --journal and --resume name different files; a resumed "
+              "campaign keeps appending to the journal it resumes from")
+        return 3
     progress = (lambda line: print(f"  {line}")) if args.verbose else None
     cache = None if args.no_cache else RunCache(args.cache_dir)
     # Analytics needs per-run telemetry; triage bundles want trace tails.
     telemetry = args.analyze or bool(args.analytics) or args.triage
-    report = run_campaign(
-        algorithms=args.algorithms,
-        n=args.n,
-        f=args.f,
-        value_bits=args.value_bits,
-        seeds=range(args.seeds),
-        num_ops=args.ops,
-        max_ticks=args.max_ticks,
-        progress=progress,
-        jobs=args.jobs,
-        chunk=args.chunk,
-        cache=cache,
-        fail_fast=args.fail_fast,
-        byzantine=args.byzantine,
-        telemetry=telemetry,
-    )
+    task_timeout = resolve_task_timeout(args.task_timeout)
+    journal = None
+    journal_path = args.resume or args.journal
+    if journal_path:
+        meta = campaign_journal_meta(
+            algorithms=args.algorithms,
+            n=args.n,
+            f=args.f,
+            value_bits=args.value_bits,
+            seeds=list(range(args.seeds)),
+            num_ops=args.ops,
+            max_ticks=args.max_ticks,
+            byzantine=args.byzantine,
+            telemetry=telemetry,
+            task_timeout=task_timeout,
+            max_retries=args.max_retries,
+        )
+        try:
+            if args.resume:
+                journal = CampaignJournal.resume(journal_path, meta)
+                print(
+                    f"resume: loaded {journal.loaded} completed run(s) "
+                    f"from {journal_path}"
+                )
+                if journal.fingerprint_drift:
+                    print(
+                        "resume: the journal was written by a different "
+                        "source tree; stale entries will re-execute"
+                    )
+            else:
+                journal = CampaignJournal.create(journal_path, meta)
+        except ConfigurationError as exc:
+            print(f"error: {exc}")
+            return 3
+    try:
+        report = run_campaign(
+            algorithms=args.algorithms,
+            n=args.n,
+            f=args.f,
+            value_bits=args.value_bits,
+            seeds=range(args.seeds),
+            num_ops=args.ops,
+            max_ticks=args.max_ticks,
+            progress=progress,
+            jobs=args.jobs,
+            chunk=args.chunk,
+            cache=cache,
+            fail_fast=args.fail_fast,
+            byzantine=args.byzantine,
+            telemetry=telemetry,
+            task_timeout=task_timeout,
+            max_retries=args.max_retries,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     print(report.format())
     if args.analyze or args.analytics:
         from repro.obs.analytics import (
@@ -305,11 +362,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         for path in paths:
             print(f"triage bundle written to {path}")
+    if report.interrupted:
+        # Partial artifacts were still written above; tell the human how
+        # to finish the campaign instead of pretending it passed/failed.
+        if journal is not None:
+            print(f"\ninterrupted: resume with --resume {journal_path}")
+        else:
+            print("\ninterrupted: re-run with --journal PATH to make the "
+                  "campaign resumable")
+        return 130
     if not failures:
         return 0
-    # Safety violations outrank liveness-only failures in the exit code
-    # so CI can triage without parsing the report.
-    return 2 if any(not r.safety_ok for r in failures) else 1
+    # Safety violations outrank liveness-only failures, which outrank
+    # quarantine-only campaigns, so CI can triage from the exit code
+    # without parsing the report.
+    if any(not r.safety_ok for r in failures):
+        return 2
+    if any(not r.quarantined for r in failures):
+        return 1
+    return 4
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -780,9 +851,25 @@ def build_parser() -> argparse.ArgumentParser:
             "0 or any negative value — from the flag OR the env var — "
             "means one worker per CPU;\n"
             "a malformed REPRO_JOBS is ignored (serial), never fatal.\n"
-            "--chunk / REPRO_CHUNK resolve the same way (0 = auto-size); "
-            "chunk size changes\nIPC cost only — reports are "
-            "byte-identical at any --jobs and any --chunk."
+            "--chunk / REPRO_CHUNK resolve the same way (0 = auto-size; "
+            "a malformed REPRO_CHUNK\nmeans auto, never fatal); chunk size "
+            "changes IPC cost only — reports are\nbyte-identical at any "
+            "--jobs and any --chunk.\n"
+            "--task-timeout / REPRO_TASK_TIMEOUT resolve the same way "
+            "(0, negative, or\nmalformed = disabled); timed-out runs are "
+            "retried with backoff, then quarantined\nafter --max-retries "
+            "timed-out executions.  Retries and chunking never change\n"
+            "result bytes.\n"
+            "\n"
+            "exit codes:\n"
+            "  0    every run acceptable\n"
+            "  1    liveness failure(s) (no safety violation)\n"
+            "  2    safety violation(s)\n"
+            "  3    usage error (bad flags, unresumable journal)\n"
+            "  4    quarantined run(s) only — nothing failed, but runs "
+            "timed out unproven\n"
+            "  130  interrupted (Ctrl-C); partial artifacts written, "
+            "journal resumable"
         ),
     )
     p.add_argument(
@@ -811,8 +898,28 @@ def build_parser() -> argparse.ArgumentParser:
                    "(implies run instrumentation)")
     p.add_argument("--verbose", action="store_true", help="per-run progress")
     p.add_argument("--fail-fast", action="store_true",
-                   help="stop at the first unacceptable run (serial; the "
-                   "report then holds the runs up to the failure)")
+                   help="stop at the first unacceptable run, cancelling "
+                   "in-flight work (the report then holds the runs up to "
+                   "the failure)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-run wall-clock timeout (default: "
+                   "$REPRO_TASK_TIMEOUT or disabled); hung runs are "
+                   "killed, retried with backoff, and quarantined after "
+                   "--max-retries timed-out executions")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="timed-out executions per run before quarantine "
+                   "(default 2: the first attempt plus one retry)")
+    p.add_argument("--journal", default="", metavar="PATH",
+                   help="checkpoint every completed run to this "
+                   "repro.journal/1 file (conventionally under "
+                   "benchmarks/.journal/) so a killed campaign can "
+                   "--resume")
+    p.add_argument("--resume", default="", metavar="PATH",
+                   help="resume a killed campaign from its journal: "
+                   "completed runs are loaded, only missing runs execute, "
+                   "and the final report is byte-identical to an "
+                   "uninterrupted campaign")
     p.add_argument("--triage", action="store_true",
                    help="write a repro bundle for every failure")
     p.add_argument("--triage-shrink", action="store_true",

@@ -44,7 +44,10 @@ from repro.obs.recorder import SimObserver
 from repro.obs.tracing import TraceCollector, TRACE_TAIL_EVENTS
 from repro.parallel.cache import RunCache
 from repro.parallel.fingerprint import code_fingerprint
-from repro.parallel.pool import UNSET, run_tasks
+from repro.parallel.journal import CampaignJournal
+from repro.parallel.pool import UNSET
+from repro.parallel.stats import ENGINE_STATS
+from repro.parallel.supervisor import DEFAULT_MAX_RETRIES, run_supervised
 from repro.registers.base import SystemHandle
 from repro.registers.catalog import build_client_system
 from repro.util.rng import SeededRNG
@@ -427,10 +430,23 @@ class ChaosRunResult:
     #: Bounded causal-trace tail (``TraceEvent.to_json_dict`` rows) —
     #: the last :data:`~repro.obs.tracing.TRACE_TAIL_EVENTS` events.
     trace_tail: Tuple[dict, ...] = ()
+    #: True when the run never completed: it exceeded the per-run
+    #: ``--task-timeout`` on every attempt and the supervisor recorded
+    #: this placeholder instead of aborting the campaign.  Quarantined
+    #: results are journaled but never cached (the cache key does not
+    #: include the timeout policy) and never claim anything about
+    #: safety or liveness.
+    quarantined: bool = False
+    #: How many timed-out executions the quarantine took.
+    quarantine_attempts: int = 0
 
     @property
     def acceptable(self) -> bool:
         """Does this run satisfy the campaign contract?"""
+        if self.quarantined:
+            # The run produced no evidence either way — a campaign with
+            # quarantined runs cannot claim its contract held.
+            return False
         if not self.safety_ok:
             return False
         if self.config.expect_liveness:
@@ -444,6 +460,8 @@ class ChaosRunResult:
         return self.live and self.safety_ok and self.byzantine_detected > 0
 
     def verdict(self) -> str:
+        if self.quarantined:
+            return "quarantined"
         if self.degraded:
             return "degraded"
         if self.live:
@@ -496,6 +514,8 @@ class ChaosRunResult:
             ),
             "telemetry": self.telemetry,
             "trace_tail": [dict(e) for e in self.trace_tail],
+            "quarantined": self.quarantined,
+            "quarantine_attempts": self.quarantine_attempts,
         }
 
     @classmethod
@@ -542,6 +562,8 @@ class ChaosRunResult:
             ),
             telemetry=data.get("telemetry"),
             trace_tail=tuple(data.get("trace_tail", ())),
+            quarantined=data.get("quarantined", False),
+            quarantine_attempts=data.get("quarantine_attempts", 0),
         )
 
 
@@ -741,9 +763,21 @@ class CampaignReport:
     value_bits: int
     num_ops: int
     results: List[ChaosRunResult] = field(default_factory=list)
+    #: Engine-counter delta for this campaign (``parallel.timeouts`` /
+    #: ``retries`` / ``quarantined`` / ``fallbacks``).  All zero on a
+    #: healthy engine, so byte-determinism across job counts is
+    #: untouched; nonzero counters *should* change the bytes — that is
+    #: the point.
+    runtime: Dict[str, int] = field(default_factory=dict)
+    #: True when the campaign was interrupted (SIGINT) and ``results``
+    #: holds only the completed prefix; resume from the journal.
+    interrupted: bool = False
 
     def failures(self) -> List[ChaosRunResult]:
         return [r for r in self.results if not r.acceptable]
+
+    def quarantined(self) -> List[ChaosRunResult]:
+        return [r for r in self.results if r.quarantined]
 
     @property
     def passed(self) -> bool:
@@ -812,14 +846,37 @@ class CampaignReport:
         counts = self.configs_per_algorithm()
         for algorithm in sorted(counts):
             lines.append(f"{algorithm}: {counts[algorithm]} fault configs")
-        stalls = [r for r in self.results if not r.live]
+        quarantined = self.quarantined()
+        stalls = [
+            r for r in self.results if not r.live and not r.quarantined
+        ]
         degraded = [r for r in self.results if r.degraded]
-        lines.append(
+        runs_line = (
             f"runs: {len(self.results)} total, "
-            f"{len(self.results) - len(stalls)} live "
+            f"{len(self.results) - len(stalls) - len(quarantined)} live "
             f"({len(degraded)} degraded), {len(stalls)} diagnosed stalls"
         )
-        lines.append(f"campaign {'PASSED' if self.passed else 'FAILED'}")
+        if quarantined:
+            runs_line += f", {len(quarantined)} quarantined"
+        lines.append(runs_line)
+        if any(self.runtime.values()):
+            lines.append(
+                "engine: "
+                f"{self.runtime.get('parallel.timeouts', 0)} timeout(s), "
+                f"{self.runtime.get('parallel.retries', 0)} retry(ies), "
+                f"{self.runtime.get('parallel.quarantined', 0)} "
+                "quarantined, "
+                f"{self.runtime.get('parallel.fallbacks', 0)} serial "
+                "fallback(s)"
+            )
+        if self.interrupted:
+            lines.append(
+                f"campaign INTERRUPTED — partial report "
+                f"({len(self.results)} completed run(s)); resume from the "
+                "journal to finish"
+            )
+        else:
+            lines.append(f"campaign {'PASSED' if self.passed else 'FAILED'}")
         for r in self.failures():
             lines.append(
                 f"  FAIL {r.algorithm}/{r.config.label()}: "
@@ -835,7 +892,10 @@ class CampaignReport:
         environment capture, stable key order under
         ``json.dumps(sort_keys=True)``.
         """
-        stalls = [r for r in self.results if not r.live]
+        stalls = [
+            r for r in self.results if not r.live and not r.quarantined
+        ]
+        quarantined = self.quarantined()
         verdicts: Dict[str, int] = {}
         for r in self.results:
             v = r.verdict()
@@ -849,11 +909,24 @@ class CampaignReport:
                 "num_ops": self.num_ops,
             },
             "passed": self.passed,
+            "interrupted": self.interrupted,
+            # Engine-counter delta (all zero on a healthy engine, so
+            # byte-identity across --jobs/--chunk still holds).
+            "runtime": {
+                name: self.runtime.get(name, 0)
+                for name in (
+                    "parallel.timeouts",
+                    "parallel.retries",
+                    "parallel.quarantined",
+                    "parallel.fallbacks",
+                )
+            },
             "summary": {
                 "runs": len(self.results),
-                "live": len(self.results) - len(stalls),
+                "live": len(self.results) - len(stalls) - len(quarantined),
                 "degraded": sum(1 for r in self.results if r.degraded),
                 "diagnosed_stalls": len(stalls),
+                "quarantined": len(quarantined),
                 "failures": len(self.failures()),
                 "configs_per_algorithm": self.configs_per_algorithm(),
                 # Uniform safe/degraded/unsafe bucketing: analytics and
@@ -873,6 +946,7 @@ class CampaignReport:
                     "verdict": r.verdict(),
                     "safety_ok": r.safety_ok,
                     "safety_reason": r.safety_reason,
+                    "quarantined": r.quarantined,
                     "diagnosis_summary": (
                         r.diagnosis.summary() if r.diagnosis else None
                     ),
@@ -915,6 +989,7 @@ class CampaignReport:
                     "byzantine_detected": r.byzantine_detected,
                     "steps": r.steps,
                     "acceptable": r.acceptable,
+                    "quarantined": r.quarantined,
                     "peak_total_bits": (
                         (r.telemetry or {})
                         .get("storage", {})
@@ -987,6 +1062,69 @@ def campaign_task_key(payload: dict) -> str:
     )
 
 
+def quarantined_result(payload: dict, attempts: int) -> ChaosRunResult:
+    """Placeholder result for a run the supervisor gave up on.
+
+    The run executed ``attempts`` times and exceeded the per-run
+    timeout every time, so nothing is known about it: no safety claim
+    (``safety_ok=True`` with no evidence is deliberate — a timeout is
+    not a violation), no liveness claim, no diagnosis.  ``acceptable``
+    is False, so a quarantined run always fails the campaign contract
+    loudly instead of being silently dropped.
+    """
+    return ChaosRunResult(
+        algorithm=payload["algorithm"],
+        config=FaultConfig.from_cache_dict(payload["config"]),
+        invoked=0,
+        completed=0,
+        live=False,
+        safety_ok=True,
+        safety_reason="",
+        diagnosis=None,
+        steps=0,
+        quarantined=True,
+        quarantine_attempts=attempts,
+    )
+
+
+def campaign_journal_meta(
+    algorithms: Sequence[str],
+    n: int,
+    f: int,
+    value_bits: int,
+    seeds: Sequence[int],
+    num_ops: int,
+    max_ticks: int,
+    byzantine: int = 0,
+    telemetry: bool = False,
+    task_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> dict:
+    """Journal header metadata identifying one campaign exactly.
+
+    A journal only resumes the campaign that wrote it:
+    :meth:`~repro.parallel.journal.CampaignJournal.resume` refuses any
+    mismatch here (except ``fingerprint``, which merely flags drift —
+    the per-run keys already embed it, so stale entries miss naturally
+    and re-execute).
+    """
+    return {
+        "kind": "chaos-campaign",
+        "algorithms": list(algorithms),
+        "n": n,
+        "f": f,
+        "value_bits": value_bits,
+        "seeds": list(seeds),
+        "num_ops": num_ops,
+        "max_ticks": max_ticks,
+        "byzantine": byzantine,
+        "telemetry": bool(telemetry),
+        "task_timeout": task_timeout,
+        "max_retries": max_retries,
+        "fingerprint": code_fingerprint(),
+    }
+
+
 def run_campaign(
     algorithms: Sequence[str] = ("abd", "cas", "casgc"),
     n: int = 5,
@@ -1002,6 +1140,9 @@ def run_campaign(
     fail_fast: bool = False,
     byzantine: int = 0,
     telemetry: bool = False,
+    task_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    journal: Optional[CampaignJournal] = None,
 ) -> CampaignReport:
     """Run every algorithm under every generated fault config.
 
@@ -1023,11 +1164,29 @@ def run_campaign(
     whose key (parameters + seed + code fingerprint) is already stored;
     a fully warm cache executes zero simulator runs.
 
+    ``task_timeout`` (``REPRO_TASK_TIMEOUT``) arms the supervisor: a
+    run past the per-run wall clock has its worker killed and is
+    retried with backoff; after ``max_retries`` timed-out executions it
+    is recorded with a ``quarantined`` verdict and the campaign
+    *continues*.  Quarantined results are never cached (the cache key
+    ignores the timeout policy), but they are journaled.
+
+    ``journal`` checkpoints every completed run the moment it lands
+    (completion order, not report order); runs already in the journal
+    are pre-filled exactly like cache hits, so a killed campaign
+    resumed from its journal re-executes only what is missing and
+    produces a byte-identical report.
+
     ``fail_fast`` stops at the first unacceptable run; the report then
-    holds exactly the runs up to and including the failure.  The pool
-    cannot cancel in-flight work, so fail-fast forces the serial path
-    (``jobs`` is ignored) — the *set* of runs it reports is still
-    deterministic because runs execute in task order.
+    holds exactly the runs up to and including the failure.  The
+    supervisor cancels in-flight work on stop, so fail-fast runs at
+    full parallelism — the *set* of reported runs is deterministic
+    because results are committed in task order.
+
+    ``KeyboardInterrupt`` (Ctrl-C / SIGINT) is graceful: the report
+    comes back with ``interrupted=True`` holding the contiguous
+    completed prefix, and the journal — if any — already contains every
+    completed run.
     """
     report = CampaignReport(n=n, f=f, value_bits=value_bits, num_ops=num_ops)
     configs = generate_fault_configs(f, list(seeds), byzantine)
@@ -1039,76 +1198,90 @@ def run_campaign(
         for algorithm in algorithms
         for config in configs
     ]
-
-    if fail_fast:
-        for payload in tasks:
-            data = cache.get(campaign_task_key(payload)) if cache else None
-            cached = data is not None
-            if data is None:
-                data = _campaign_task(payload)
-                if cache is not None:
-                    cache.put(campaign_task_key(payload), data)
-            result = ChaosRunResult.from_cache_dict(data)
-            if progress is not None:
-                progress(
-                    f"{result.algorithm}/{result.config.label()}: "
-                    f"{result.verdict()}"
-                    f"{'' if result.safety_ok else ' SAFETY VIOLATED'}"
-                    f"{' (cached)' if cached else ''}"
-                )
-            report.results.append(result)
-            if not result.acceptable:
-                break
-        return report
+    keys = [campaign_task_key(payload) for payload in tasks]
+    stats_before = ENGINE_STATS.snapshot()
 
     # Slots start at the UNSET sentinel, not None: a cache miss returns
     # None, and a (hypothetical) task result could itself be falsy, so
     # "not yet filled" must be distinguishable from any payload value.
     slots: List[dict] = [UNSET] * len(tasks)  # type: ignore[list-item]
-    cached_indices: set = set()
-    if cache is not None:
-        for index, payload in enumerate(tasks):
-            hit = cache.get(campaign_task_key(payload))
-            if hit is not None:
-                slots[index] = hit
-                cached_indices.add(index)
-    pending = [i for i in range(len(tasks)) if i not in cached_indices]
+    prefilled: set = set()
+    for index in range(len(tasks)):
+        hit = journal.get(keys[index]) if journal is not None else None
+        if hit is None and cache is not None:
+            hit = cache.get(keys[index])
+        if hit is not None:
+            slots[index] = hit
+            prefilled.add(index)
+    pending = [i for i in range(len(tasks)) if i not in prefilled]
 
     emitted = 0
+    stopped = False
 
-    def emit_ready_prefix() -> None:
-        """Stream progress for the contiguous completed prefix, in order."""
-        nonlocal emitted
-        while emitted < len(slots) and slots[emitted] is not UNSET:
+    def emit_ready_prefix() -> bool:
+        """Stream progress for the contiguous completed prefix, in order.
+
+        Returns True once an unacceptable run was emitted under
+        ``fail_fast`` — the supervisor's stop signal.
+        """
+        nonlocal emitted, stopped
+        while (
+            not stopped
+            and emitted < len(slots)
+            and slots[emitted] is not UNSET
+        ):
+            result = ChaosRunResult.from_cache_dict(slots[emitted])
             if progress is not None:
-                result = ChaosRunResult.from_cache_dict(slots[emitted])
                 progress(
                     f"{result.algorithm}/{result.config.label()}: "
                     f"{result.verdict()}"
                     f"{'' if result.safety_ok else ' SAFETY VIOLATED'}"
-                    f"{' (cached)' if emitted in cached_indices else ''}"
+                    f"{' (cached)' if emitted in prefilled else ''}"
                 )
             emitted += 1
+            if fail_fast and not result.acceptable:
+                stopped = True
+        return stopped
 
-    emit_ready_prefix()
-
-    def collect(pending_pos: int, data: dict) -> None:
+    def complete(pending_pos: int, data: dict) -> None:
+        """Commit one finished run the moment it lands (any order)."""
         index = pending[pending_pos]
         slots[index] = data
-        if cache is not None:
-            cache.put(campaign_task_key(tasks[index]), data)
-        emit_ready_prefix()
+        if cache is not None and not data.get("quarantined"):
+            cache.put(keys[index], data)
+        if journal is not None:
+            journal.record(keys[index], data)
 
-    run_tasks(
-        _campaign_task,
-        [tasks[index] for index in pending],
-        jobs=jobs,
-        chunk=chunk,
-        on_result=collect,
-    )
+    def on_result(pending_pos: int, data: dict) -> bool:
+        return emit_ready_prefix()
+
+    def quarantine(pending_pos: int, payload: dict, attempts: int) -> dict:
+        return quarantined_result(payload, attempts).to_cache_dict()
+
+    if not emit_ready_prefix() and pending:
+        try:
+            run_supervised(
+                _campaign_task,
+                [tasks[index] for index in pending],
+                jobs=jobs,
+                chunk=chunk,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                on_result=on_result,
+                on_complete=complete,
+                quarantine=quarantine,
+            )
+        except KeyboardInterrupt:
+            report.interrupted = True
 
     for data in slots:
-        report.results.append(ChaosRunResult.from_cache_dict(data))
+        if data is UNSET:
+            break
+        result = ChaosRunResult.from_cache_dict(data)
+        report.results.append(result)
+        if fail_fast and not result.acceptable:
+            break
+    report.runtime = ENGINE_STATS.delta_since(stats_before)
     return report
 
 

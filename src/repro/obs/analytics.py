@@ -238,6 +238,17 @@ def analyze_campaign(report) -> dict:
         for r in alg_runs:
             v = r.verdict()
             alg_verdicts[v] = alg_verdicts.get(v, 0) + 1
+            if getattr(r, "quarantined", False):
+                anomalies.append(
+                    {
+                        "algorithm": algorithm,
+                        "config": r.config.label(),
+                        "seed": r.config.seed,
+                        "kind": "quarantined-run",
+                        "detail": f"{r.quarantine_attempts} timed-out "
+                        "execution(s); no verdict produced",
+                    }
+                )
             if not r.live and r.diagnosis is not None:
                 anomalies.append(
                     {

@@ -20,14 +20,32 @@ fault config)``.  This package exploits that in three layers:
   and a fingerprint of the ``src/repro`` source tree
   (:mod:`repro.parallel.fingerprint`), so results survive re-runs but
   never survive a code change.
+* :mod:`repro.parallel.supervisor` — self-healing dispatch over the
+  pool: per-run wall-clock timeouts (``REPRO_TASK_TIMEOUT``), kill and
+  replace hung/dead workers, bounded retry with deterministic backoff,
+  poison-run quarantine, and fail-fast cancellation.
+* :mod:`repro.parallel.journal` — the crash-safe campaign journal
+  (``repro.journal/1``) under ``benchmarks/.journal/``: an append-only
+  record of completed runs, so ``repro chaos --resume`` continues a
+  killed campaign byte-identically.
+* :mod:`repro.parallel.stats` — process-wide engine counters
+  (``parallel.timeouts/retries/quarantined/fallbacks``) plus the
+  warn-once stderr channel, so degradation is observable instead of
+  silent.
 
 See ``docs/parallelism.md`` for the determinism contract, the pool
-lifecycle, chunk sizing, and the cache key design.
+lifecycle, chunk sizing, the cache key design, and the resilience
+semantics.
 """
 
 from repro.parallel.cache import DEFAULT_CACHE_DIR, RunCache
 from repro.parallel.codec import PayloadCodec
 from repro.parallel.fingerprint import FINGERPRINT_ENV, code_fingerprint
+from repro.parallel.journal import (
+    DEFAULT_JOURNAL_DIR,
+    JOURNAL_SCHEMA,
+    CampaignJournal,
+)
 from repro.parallel.pool import (
     CHUNK_ENV,
     JOBS_ENV,
@@ -38,19 +56,36 @@ from repro.parallel.pool import (
     run_tasks,
     shutdown_pool,
 )
+from repro.parallel.stats import ENGINE_STATS, EngineStats, warn_once
+from repro.parallel.supervisor import (
+    DEFAULT_MAX_RETRIES,
+    TASK_TIMEOUT_ENV,
+    resolve_task_timeout,
+    run_supervised,
+)
 
 __all__ = [
     "CHUNK_ENV",
+    "CampaignJournal",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_JOURNAL_DIR",
+    "DEFAULT_MAX_RETRIES",
+    "ENGINE_STATS",
+    "EngineStats",
     "FINGERPRINT_ENV",
     "JOBS_ENV",
+    "JOURNAL_SCHEMA",
     "PayloadCodec",
     "RunCache",
+    "TASK_TIMEOUT_ENV",
     "UNSET",
     "code_fingerprint",
     "pool_workers",
     "resolve_chunk",
     "resolve_jobs",
+    "resolve_task_timeout",
+    "run_supervised",
     "run_tasks",
     "shutdown_pool",
+    "warn_once",
 ]

@@ -1,0 +1,212 @@
+"""Crash-safe campaign journal: ``repro.journal/1`` (checkpoint/resume).
+
+The run cache makes campaign results *reusable*; the journal makes a
+campaign *resumable*.  They answer different failures: deleting the
+cache costs time, but killing a 10,000-run campaign used to cost every
+completed run not yet in the cache — and with ``--no-cache`` (how the
+scale benchmarks run) it cost everything.
+
+A journal is an append-only JSONL file, conventionally under
+``benchmarks/.journal/`` (git-ignored):
+
+* line 1 — the header: ``{"schema": "repro.journal/1", "meta": {...}}``
+  where ``meta`` carries the campaign parameters (including the
+  timeout/retry policy) and the emitting code fingerprint;
+* every later line — one completed run:
+  ``{"key": <task key>, "result": <ChaosRunResult.to_cache_dict()>}``.
+
+Entries are keyed by :func:`repro.faults.campaign.campaign_task_key`,
+which embeds the *code fingerprint*: after a source edit a resumed
+journal simply stops matching and every run re-executes — a stale
+journal can never smuggle old-code results into a new-code report
+(:meth:`CampaignJournal.resume` additionally warns when the recorded
+fingerprint drifted).  Resuming under *different campaign parameters*
+is refused outright (:class:`~repro.errors.ConfigurationError`): a
+journal is a checkpoint of one specific campaign, not a cache.
+
+Crash safety is line-granular: every record is written and flushed as
+one line, and :meth:`~CampaignJournal.resume` tolerates a torn final
+line (the write the crash interrupted) by dropping it.  Writes go
+through the OS page cache (``flush``, not ``fsync``-per-line — a
+campaign writes thousands of lines); ``close`` fsyncs once.  Duplicate
+keys are last-wins, so re-journaling a run is harmless.
+
+The byte-determinism contract extends to resume: a campaign killed at
+any point and resumed from its journal produces a final report
+byte-identical to the uninterrupted run, at any ``--jobs``/``--chunk``
+— results are slotted by task key, and task order is a pure function
+of the campaign parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, TextIO
+
+from repro.errors import ConfigurationError
+
+#: Schema tag of the journal header line.
+JOURNAL_SCHEMA = "repro.journal/1"
+
+#: Conventional home of campaign journals (git-ignored, like the cache).
+DEFAULT_JOURNAL_DIR = os.path.join("benchmarks", ".journal")
+
+
+class CampaignJournal:
+    """Append-only record of completed campaign runs, resumable.
+
+    Construct via :meth:`create` (fresh campaign) or :meth:`resume`
+    (continue a killed one); then :meth:`record` every completed run
+    and :meth:`get` to pre-fill slots before dispatch.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        meta: dict,
+        completed: Optional[Dict[str, dict]] = None,
+        loaded: int = 0,
+        fingerprint_drift: bool = False,
+    ) -> None:
+        self.path = path
+        self.meta = dict(meta)
+        #: key -> result dict for every run already completed.
+        self.completed: Dict[str, dict] = dict(completed or {})
+        #: How many entries :meth:`resume` recovered from disk.
+        self.loaded = loaded
+        #: True when the journal was written by a different source tree
+        #: (entries then miss by key and runs re-execute — correct, but
+        #: worth telling the human who expected a cheap resume).
+        self.fingerprint_drift = fingerprint_drift
+        self._fh: Optional[TextIO] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, meta: dict) -> "CampaignJournal":
+        """Start a fresh journal at ``path`` (truncating any old one)."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        journal = cls(path, meta)
+        journal._fh = open(path, "w", encoding="utf-8")
+        journal._fh.write(
+            json.dumps(
+                {"schema": JOURNAL_SCHEMA, "meta": journal.meta},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        journal._fh.flush()
+        return journal
+
+    @classmethod
+    def resume(cls, path: str, meta: dict) -> "CampaignJournal":
+        """Load a journal and reopen it for appending.
+
+        ``meta`` is the *current* campaign's metadata; any mismatch in
+        a parameter other than ``fingerprint`` raises
+        :class:`ConfigurationError` (a journal checkpoints exactly one
+        campaign).  A fingerprint mismatch only sets
+        ``fingerprint_drift`` — the keys enforce correctness.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot resume journal {path!r}: {exc}"
+            ) from exc
+        if not lines:
+            raise ConfigurationError(
+                f"cannot resume journal {path!r}: file is empty"
+            )
+        try:
+            header = json.loads(lines[0])
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"cannot resume journal {path!r}: unreadable header"
+            ) from exc
+        if header.get("schema") != JOURNAL_SCHEMA:
+            raise ConfigurationError(
+                f"journal {path!r} has schema {header.get('schema')!r} "
+                f"(expected {JOURNAL_SCHEMA!r})"
+            )
+        recorded = dict(header.get("meta", {}))
+        current = dict(meta)
+        drift = recorded.pop("fingerprint", None) != current.pop(
+            "fingerprint", None
+        )
+        if recorded != current:
+            differing = sorted(
+                k
+                for k in set(recorded) | set(current)
+                if recorded.get(k) != current.get(k)
+            )
+            raise ConfigurationError(
+                f"journal {path!r} was written by a campaign with "
+                f"different parameters ({', '.join(differing)}); a journal "
+                "resumes exactly the campaign that wrote it"
+            )
+        completed: Dict[str, dict] = {}
+        for line in lines[1:]:
+            # A torn final line is the crash's signature; any line that
+            # does not decode to a complete entry is simply dropped —
+            # its run re-executes, which is always safe.
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("key"), str)
+                and isinstance(entry.get("result"), dict)
+            ):
+                completed[entry["key"]] = entry["result"]
+        journal = cls(
+            path,
+            meta,
+            completed=completed,
+            loaded=len(completed),
+            fingerprint_drift=drift,
+        )
+        journal._fh = open(path, "a", encoding="utf-8")
+        return journal
+
+    def close(self) -> None:
+        """Flush, fsync and close (idempotent)."""
+        if self._fh is None:
+            return
+        fh, self._fh = self._fh, None
+        try:
+            fh.flush()
+            os.fsync(fh.fileno())
+        except (OSError, ValueError):  # pragma: no cover - best effort
+            pass
+        fh.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the record/lookup pair ----------------------------------------------
+
+    def record(self, key: str, result: dict) -> None:
+        """Append one completed run and flush the line."""
+        self.completed[key] = result
+        if self._fh is None:
+            return
+        self._fh.write(
+            json.dumps({"key": key, "result": result}, sort_keys=True) + "\n"
+        )
+        self._fh.flush()
+
+    def get(self, key: str) -> Optional[dict]:
+        """The recorded result for ``key``, or ``None``."""
+        return self.completed.get(key)
+
+    def __len__(self) -> int:
+        return len(self.completed)

@@ -56,6 +56,7 @@ import os
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.parallel.codec import PayloadCodec
+from repro.parallel.stats import ENGINE_STATS, warn_once
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV = "REPRO_JOBS"
@@ -247,7 +248,16 @@ def run_tasks(
     try:
         pool = get_pool(workers)
     except (OSError, PermissionError, ValueError):
+        # Sandboxed semaphores / forbidden subprocesses: degrade to the
+        # serial path below — observably (counter + one stderr line),
+        # never silently.
         pool = None
+        ENGINE_STATS.inc("fallbacks")
+        warn_once(
+            "pool-create",
+            "repro.parallel: worker pool unavailable in this environment; "
+            "running serially in-process",
+        )
 
     if pool is not None:
         chunk_size = resolve_chunk(chunk, len(payloads), workers)
@@ -273,6 +283,12 @@ def run_tasks(
             # pool and fall through to fill the remaining slots
             # serially.  Already-emitted callbacks are never replayed.
             _discard_pool()
+            ENGINE_STATS.inc("fallbacks")
+            warn_once(
+                "pool-died",
+                "repro.parallel: worker pool died mid-flight; completing "
+                "the remaining tasks serially in-process",
+            )
 
     for index, payload in enumerate(payloads):
         if slots[index] is UNSET:

@@ -102,6 +102,12 @@ class ReproBundle:
     timeline: Optional[FaultTimeline] = None  # chaos only
     #: Explore only: the violating delivery schedule (src, dst) pairs.
     schedule: Tuple[Tuple[str, str], ...] = ()
+    #: Chaos only, seeded-replay mode: when the run never completed
+    #: (quarantine) there is no recorded workload/timeline to replay, so
+    #: the bundle carries the op budget instead and the replay re-derives
+    #: script and timeline from the fault config's seed — exactly the
+    #: campaign's own derivation.
+    num_ops: Optional[int] = None
     max_ticks: int = 60_000
     #: Code fingerprint of the tree that emitted the bundle.
     fingerprint: str = ""
@@ -138,6 +144,7 @@ class ReproBundle:
                 None if self.timeline is None else self.timeline.to_json_dict()
             ),
             "schedule": [list(pair) for pair in self.schedule],
+            "num_ops": self.num_ops,
             "max_ticks": self.max_ticks,
             "fingerprint": self.fingerprint,
             "expected": self.expected.to_json_dict(),
@@ -168,6 +175,7 @@ class ReproBundle:
             schedule=tuple(
                 (pair[0], pair[1]) for pair in data.get("schedule", ())
             ),
+            num_ops=data.get("num_ops"),
             max_ticks=data.get("max_ticks", 60_000),
             fingerprint=data.get("fingerprint", ""),
             expected=ExpectedVerdict.from_json_dict(data["expected"]),
@@ -219,7 +227,10 @@ class ReproBundle:
             lines.append(f"fault config: {self.fault_config.label()}")
         if self.timeline is not None:
             lines.extend(self.timeline.describe())
-        lines.append(f"workload: {len(self.workload)} ops")
+        if len(self.workload) == 0 and self.num_ops is not None:
+            lines.append(f"workload: seeded, {self.num_ops} ops budgeted")
+        else:
+            lines.append(f"workload: {len(self.workload)} ops")
         if self.schedule:
             lines.append(f"schedule: {len(self.schedule)} deliveries")
         if self.trace_tail:
@@ -272,6 +283,45 @@ def bundle_from_result(
             safety_reason=result.safety_reason,
         ),
         note=note,
+    )
+
+
+def bundle_from_quarantine(
+    result: ChaosRunResult,
+    n: int,
+    f: int,
+    value_bits: int,
+    num_ops: int,
+    max_ticks: int = 60_000,
+    note: str = "",
+) -> ReproBundle:
+    """Freeze a quarantined run into a seeded-replay bundle.
+
+    A quarantined run timed out on every attempt, so there is no
+    recorded workload or timeline — the bundle instead carries the op
+    budget and replays by re-deriving both from the fault config's
+    seed, which is exactly what the campaign executed.  Replaying one
+    reproduces the *hang* (under no timeout, possibly forever — run it
+    under a watchdog), so quarantine bundles are for manual triage and
+    are never shrunk.
+    """
+    return ReproBundle(
+        kind="chaos",
+        algorithm=result.algorithm,
+        n=n,
+        f=f,
+        value_bits=value_bits,
+        builder_params=dict(CAMPAIGN_BUILDER_PARAMS),
+        fault_config=result.config,
+        num_ops=num_ops,
+        max_ticks=max_ticks,
+        fingerprint=code_fingerprint(),
+        expected=ExpectedVerdict(safety_ok=True, verdict="quarantined"),
+        note=note
+        or (
+            f"quarantined after {result.quarantine_attempts} timed-out "
+            "execution(s); seeded replay reproduces the hang"
+        ),
     )
 
 

@@ -24,7 +24,11 @@ from typing import List, Optional, Tuple
 
 from repro.faults.campaign import CampaignReport
 from repro.parallel.cache import RunCache
-from repro.triage.bundle import ReproBundle, bundle_from_result
+from repro.triage.bundle import (
+    ReproBundle,
+    bundle_from_quarantine,
+    bundle_from_result,
+)
 from repro.triage.replay import ReplayOutcome, execute_bundle
 from repro.triage.shrink import shrink_bundle, write_shrink_log
 
@@ -104,6 +108,21 @@ def bundle_campaign_failures(
     """
     paths: List[str] = []
     for result in report.failures():
+        if result.quarantined:
+            # There is nothing recorded to replay or shrink — emit the
+            # seeded-replay bundle so the hang can be triaged by hand.
+            bundle = bundle_from_quarantine(
+                result,
+                n=report.n,
+                f=report.f,
+                value_bits=report.value_bits,
+                num_ops=report.num_ops,
+                max_ticks=max_ticks,
+            )
+            path = os.path.join(directory, bundle_name(bundle))
+            bundle.write(path)
+            paths.append(path)
+            continue
         bundle = bundle_from_result(
             result,
             n=report.n,

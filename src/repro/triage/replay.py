@@ -71,15 +71,26 @@ def _replay_task(payload: dict) -> dict:
     script = WorkloadScript.from_json_list(payload.get("workload", ()))
     if payload["kind"] == "chaos":
         config = FaultConfig.from_cache_dict(payload["fault_config"])
-        timeline = FaultTimeline.from_json_dict(payload["timeline"])
-        result = run_chaos_workload(
-            handle,
-            config,
-            num_ops=len(script),
-            max_ticks=payload.get("max_ticks", 60_000),
-            script=script,
-            timeline=timeline,
-        )
+        timeline_doc = payload.get("timeline")
+        if timeline_doc is None and len(script) == 0:
+            # Seeded-replay mode (quarantine bundles): no recorded
+            # script/timeline exists, so re-derive both from the seed —
+            # the campaign's own execution, hang included.
+            result = run_chaos_workload(
+                handle,
+                config,
+                num_ops=payload.get("num_ops") or 0,
+                max_ticks=payload.get("max_ticks", 60_000),
+            )
+        else:
+            result = run_chaos_workload(
+                handle,
+                config,
+                num_ops=len(script),
+                max_ticks=payload.get("max_ticks", 60_000),
+                script=script,
+                timeline=FaultTimeline.from_json_dict(timeline_doc),
+            )
         return {"kind": "chaos", "result": result.to_cache_dict()}
     # Explore counterexample: the recorded delivery schedule, with each
     # operation invoked once ``tick`` deliveries have been performed

@@ -1,0 +1,128 @@
+"""The campaign journal's crash-safety contract (``repro.journal/1``).
+
+A journal must round-trip completed runs through a crash: entries are
+one flushed line each, a torn final line (the interrupted write) is
+dropped rather than fatal, duplicate keys are last-wins, and resuming
+under different campaign parameters is refused — a journal checkpoints
+exactly one campaign.  A fingerprint mismatch only flags drift, because
+the per-run keys embed the fingerprint and stale entries miss naturally.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.journal import JOURNAL_SCHEMA, CampaignJournal
+
+META = {"kind": "test-campaign", "seeds": [0, 1], "fingerprint": "abc123"}
+
+
+def test_create_writes_schema_header(tmp_path):
+    path = str(tmp_path / "j.journal")
+    with CampaignJournal.create(path, META) as journal:
+        journal.record("k1", {"value": 1})
+    lines = open(path, encoding="utf-8").read().splitlines()
+    header = json.loads(lines[0])
+    assert header["schema"] == JOURNAL_SCHEMA
+    assert header["meta"] == META
+    assert len(lines) == 2
+
+
+def test_round_trip(tmp_path):
+    path = str(tmp_path / "j.journal")
+    with CampaignJournal.create(path, META) as journal:
+        journal.record("k1", {"value": 1})
+        journal.record("k2", {"value": None})
+    resumed = CampaignJournal.resume(path, META)
+    assert len(resumed) == 2
+    assert resumed.loaded == 2
+    assert resumed.get("k1") == {"value": 1}
+    assert resumed.get("k2") == {"value": None}
+    assert resumed.get("missing") is None
+    assert not resumed.fingerprint_drift
+    resumed.close()
+
+
+def test_resume_keeps_appending(tmp_path):
+    path = str(tmp_path / "j.journal")
+    with CampaignJournal.create(path, META) as journal:
+        journal.record("k1", {"value": 1})
+    with CampaignJournal.resume(path, META) as journal:
+        journal.record("k2", {"value": 2})
+    resumed = CampaignJournal.resume(path, META)
+    assert len(resumed) == 2
+    resumed.close()
+
+
+def test_torn_final_line_dropped(tmp_path):
+    path = str(tmp_path / "j.journal")
+    with CampaignJournal.create(path, META) as journal:
+        journal.record("k1", {"value": 1})
+        journal.record("k2", {"value": 2})
+    # Simulate a crash mid-write: truncate into the final line.
+    raw = open(path, encoding="utf-8").read()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(raw[:-9])
+    resumed = CampaignJournal.resume(path, META)
+    assert resumed.get("k1") == {"value": 1}
+    assert resumed.get("k2") is None  # the torn entry re-executes
+    assert resumed.loaded == 1
+    resumed.close()
+
+
+def test_duplicate_keys_last_wins(tmp_path):
+    path = str(tmp_path / "j.journal")
+    with CampaignJournal.create(path, META) as journal:
+        journal.record("k1", {"value": 1})
+        journal.record("k1", {"value": 2})
+    resumed = CampaignJournal.resume(path, META)
+    assert resumed.get("k1") == {"value": 2}
+    resumed.close()
+
+
+def test_meta_mismatch_refused(tmp_path):
+    path = str(tmp_path / "j.journal")
+    CampaignJournal.create(path, META).close()
+    other = dict(META, seeds=[0, 1, 2])
+    with pytest.raises(ConfigurationError, match="seeds"):
+        CampaignJournal.resume(path, other)
+
+
+def test_fingerprint_mismatch_only_flags_drift(tmp_path):
+    path = str(tmp_path / "j.journal")
+    CampaignJournal.create(path, META).close()
+    drifted = dict(META, fingerprint="zzz999")
+    resumed = CampaignJournal.resume(path, drifted)
+    assert resumed.fingerprint_drift
+    resumed.close()
+
+
+def test_empty_file_refused(tmp_path):
+    path = str(tmp_path / "j.journal")
+    open(path, "w", encoding="utf-8").close()
+    with pytest.raises(ConfigurationError, match="empty"):
+        CampaignJournal.resume(path, META)
+
+
+def test_missing_file_refused(tmp_path):
+    with pytest.raises(ConfigurationError, match="cannot resume"):
+        CampaignJournal.resume(str(tmp_path / "absent.journal"), META)
+
+
+def test_wrong_schema_refused(tmp_path):
+    path = str(tmp_path / "j.journal")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"schema": "repro.cache/1", "meta": META}) + "\n")
+    with pytest.raises(ConfigurationError, match="schema"):
+        CampaignJournal.resume(path, META)
+
+
+def test_close_idempotent(tmp_path):
+    path = str(tmp_path / "j.journal")
+    journal = CampaignJournal.create(path, META)
+    journal.close()
+    journal.close()
+    # Recording after close only updates memory, never crashes.
+    journal.record("k1", {"value": 1})
+    assert journal.get("k1") == {"value": 1}

@@ -282,3 +282,50 @@ class TestDegradation:
 
         with pytest.raises(ValueError, match="task 0 is broken"):
             run_tasks(boom, list(range(4)), jobs=2)
+
+
+class TestFallbackObservability:
+    """Degradation is counted and warned, never silent (satellite of
+    the self-healing runtime: ``parallel.fallbacks`` feeds the campaign
+    report's ``runtime`` section)."""
+
+    def test_pool_create_failure_counts_and_warns_once(
+        self, monkeypatch, capsys
+    ):
+        from repro.parallel.stats import ENGINE_STATS, reset_warnings
+
+        shutdown_pool()
+        reset_warnings()
+
+        class Exploding:
+            def Pool(self, processes):
+                raise OSError("no semaphores here")
+
+        monkeypatch.setattr(pool_mod, "_pool_context", lambda: Exploding())
+        before = ENGINE_STATS.get("fallbacks")
+        assert run_tasks(square, [2, 3], jobs=2) == [4, 9]
+        assert ENGINE_STATS.get("fallbacks") == before + 1
+        err = capsys.readouterr().err
+        assert err.count("worker pool unavailable") == 1
+        # The same category warns once per process, however often the
+        # engine falls back; the counter keeps counting.
+        assert run_tasks(square, [4, 5], jobs=2) == [16, 25]
+        assert ENGINE_STATS.get("fallbacks") == before + 2
+        assert "worker pool unavailable" not in capsys.readouterr().err
+        reset_warnings()
+
+    def test_pool_death_counts_fallback(self, monkeypatch, capsys):
+        from repro.parallel.stats import ENGINE_STATS, reset_warnings
+
+        shutdown_pool()
+        reset_warnings()
+        monkeypatch.setattr(
+            pool_mod, "get_pool", lambda workers: _DyingPool(deliver_chunks=1)
+        )
+        before = ENGINE_STATS.get("fallbacks")
+        assert run_tasks(square, list(range(6)), jobs=2, chunk=2) == [
+            i * i for i in range(6)
+        ]
+        assert ENGINE_STATS.get("fallbacks") == before + 1
+        assert "died mid-flight" in capsys.readouterr().err
+        reset_warnings()

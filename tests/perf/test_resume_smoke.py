@@ -1,0 +1,25 @@
+"""Tier-2 resilience gate: kill a live campaign, resume it, compare bytes.
+
+Runs the same end-to-end smoke as ``make resume-smoke`` / the perf
+guard: a reference ``repro chaos`` campaign, a second campaign SIGKILLed
+mid-flight, and a ``--resume`` continuation that must load completed
+runs from the journal and reproduce the reference JSON byte-identically.
+Marked tier-2 because it spawns real CLI subprocesses and waits on real
+wall-clock kills.
+"""
+
+import pytest
+
+from benchmarks.resume_smoke import run_resume_smoke
+from benchmarks.perf_guard import resilience_failures
+
+pytestmark = pytest.mark.tier2
+
+
+def test_killed_campaign_resumes_byte_identical():
+    record = run_resume_smoke(verbose=False)
+    failures = resilience_failures(record)
+    assert not failures, f"{failures}\ncounters: {record}"
+    assert record["killed_midway"]
+    assert record["loaded"] > 0
+    assert record["byte_identical"]
